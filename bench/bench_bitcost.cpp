@@ -1,0 +1,67 @@
+// E16 — bit-cost accounting.
+//
+// Paper (Section 2.4): a coded FORWARD message is the XOR sum (b bits)
+// plus a ⌈log n⌉-bit subset header — "the size of the new message is at
+// most twice the size of any message in M". This bench verifies the
+// on-air overhead claim and reports end-to-end bit economics: total bits
+// transmitted per delivered packet for each algorithm.
+//
+// Expected shape: mean coded message size / packet size <= 2 (comfortably,
+// since payloads carry b >= log n bits); coded transmits fewer TOTAL bits
+// per packet than the uncoded pipeline at large k because it occupies the
+// channel for a log n factor fewer rounds.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace radiocast;
+  using namespace radiocast::benchutil;
+  const int seeds = seeds_from_env();
+
+  banner("E16 bench_bitcost",
+         "coded message <= 2x packet size; total bits/packet per algorithm");
+
+  Rng grng(111);
+  const graph::Graph g = graph::make_random_geometric(64, 0.25, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  const std::uint32_t payload_bytes = 16;
+  // Wire packet size: 8-byte id + payload (see core/dissemination.hpp).
+  const double packet_bits = 8.0 * (8 + payload_bytes);
+  print_meta(std::cout, "graph", g.summary());
+  print_meta(std::cout, "packet wire bits", std::to_string(packet_bits));
+
+  Table t({"k", "algo", "bits tx / packet", "bits tx / (packet*n)",
+           "mean msg bits", "msg/packet ratio", "ok"});
+  for (const std::uint32_t k : {64u, 256u}) {
+    for (const baselines::Algo algo :
+         {baselines::Algo::kCoded, baselines::Algo::kUncodedPipeline,
+          baselines::Algo::kSequentialBgi}) {
+      SampleSet bits_per_pkt, mean_msg;
+      int ok = 0, runs = 0;
+      for (int s = 0; s < seeds; ++s) {
+        Rng prng(180 + s);
+        const core::Placement placement = core::make_placement(
+            g.num_nodes(), k, core::PlacementMode::kRandom, payload_bytes, prng);
+        const core::RunResult r =
+            baselines::run_algo(algo, g, know, placement, 190 + s);
+        ++runs;
+        if (r.delivered_all) ++ok;
+        bits_per_pkt.add(static_cast<double>(r.counters.bits_transmitted) / k);
+        mean_msg.add(static_cast<double>(r.counters.bits_transmitted) /
+                     std::max<std::uint64_t>(1, r.counters.transmissions));
+      }
+      t.row()
+          .add(k)
+          .add(baselines::algo_name(algo))
+          .add(bits_per_pkt.median(), 0)
+          .add(bits_per_pkt.median() / g.num_nodes(), 1)
+          .add(mean_msg.median(), 1)
+          .add(mean_msg.median() / packet_bits, 2)
+          .add(ok == runs ? "yes" : "NO");
+    }
+  }
+  t.print(std::cout);
+  std::cout << "# expected: msg/packet ratio <= 2 for every algorithm (the\n"
+               "# paper's header bound); coded total bits/packet below uncoded\n"
+               "# at large k (fewer channel rounds outweigh the subset header).\n";
+  return 0;
+}

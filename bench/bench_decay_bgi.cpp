@@ -1,0 +1,120 @@
+// E9 — BGI single-message broadcast completes in O((D+log n)·logΔ) rounds
+// (Bar-Yehuda, Goldreich, Itai; the paper's Stage-2/ALARM primitive).
+//
+// We measure, per graph family, the median round at which the last node
+// receives a single-source flood, and normalize by (D+log n)·logΔ.
+//
+// Expected shape: the normalized column is a roughly family-independent
+// constant; absolute rounds track D for deep families and log n for flat
+// ones.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "protocols/bgi_broadcast.hpp"
+#include "protocols/decay.hpp"
+#include "radio/network.hpp"
+
+int main() {
+  using namespace radiocast;
+  using namespace radiocast::benchutil;
+  const int seeds = seeds_from_env();
+
+  banner("E9 bench_decay_bgi",
+         "BGI broadcast completes in O((D+logn)*logD) rounds whp");
+
+  Table t({"family", "n", "D", "logΔ", "median rounds", "rounds/((D+logn)logΔ)",
+           "all reached"});
+  Rng grng(41);
+  for (const std::string& family : graph::named_families()) {
+    const graph::Graph g = graph::make_named(family, 96, grng);
+    const radio::Knowledge know = radio::Knowledge::exact(g);
+    protocols::BgiBroadcastNode::Config cfg;
+    cfg.know = know;
+    cfg.epochs = 0;  // default window
+
+    SampleSet rounds;
+    int reached = 0, runs = 0;
+    for (int s = 0; s < seeds; ++s) {
+      radio::Network net(g);
+      Rng master(50 + s);
+      for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+        net.set_protocol(v, std::make_unique<protocols::BgiBroadcastNode>(
+                                cfg, v == 0,
+                                v == 0 ? std::optional<radio::MessageBody>(
+                                             radio::AlarmMsg{})
+                                       : std::nullopt,
+                                master.split()));
+      }
+      net.wake_at_start(0);
+      const std::uint64_t window =
+          static_cast<std::uint64_t>(protocols::bgi_default_epochs(know)) *
+          know.log_delta();
+      const bool all = net.run_until_done(window);
+      ++runs;
+      if (all) {
+        ++reached;
+        rounds.add(static_cast<double>(net.current_round()));
+      }
+    }
+    const double norm = static_cast<double>(know.d_hat + know.log_n()) *
+                        know.log_delta();
+    t.row()
+        .add(family)
+        .add(g.num_nodes())
+        .add(know.d_hat)
+        .add(know.log_delta())
+        .add(rounds.empty() ? -1.0 : rounds.median(), 0)
+        .add(rounds.empty() ? -1.0 : rounds.median() / norm, 2)
+        .add(std::to_string(reached) + "/" + std::to_string(runs));
+  }
+  t.print(std::cout);
+  std::cout << "# expected: normalized column is an O(1) constant across families\n"
+               "# (the BGI bound is tight up to constants on both deep and flat\n"
+               "# graphs); every run reaches all nodes within the default window.\n";
+
+  // Decay formulation ablation: the paper's independent-probability rule
+  // vs the original BGI coin-flip ("persistent") rule — per-epoch success
+  // probability for m co-located transmitters, epoch length log(64) = 6.
+  std::cout << "\n-- Decay per-epoch success probability (epoch = 6 rounds) --\n";
+  {
+    Table t2({"m transmitters", "independent (paper)", "persistent (BGI'92)"});
+    const int trials = 20000;
+    for (const int m : {1, 2, 4, 8, 16, 32, 64}) {
+      Rng rng(900 + m);
+      protocols::Decay independent(6);
+      BernoulliCounter ind_success;
+      for (int trial = 0; trial < trials; ++trial) {
+        bool received = false;
+        for (std::uint32_t s = 0; s < 6 && !received; ++s) {
+          int tx = 0;
+          for (int i = 0; i < m; ++i) {
+            if (independent.decide(s, rng)) ++tx;
+          }
+          received = tx == 1;
+        }
+        ind_success.add(received);
+      }
+      std::vector<protocols::PersistentDecay> nodes(
+          static_cast<std::size_t>(m), protocols::PersistentDecay(6));
+      BernoulliCounter per_success;
+      for (int trial = 0; trial < trials; ++trial) {
+        bool received = false;
+        for (std::uint32_t s = 0; s < 6; ++s) {
+          int tx = 0;
+          for (auto& node : nodes) {
+            if (node.decide(static_cast<std::uint64_t>(trial) * 6 + s, rng)) ++tx;
+          }
+          received |= tx == 1;
+        }
+        per_success.add(received);
+      }
+      t2.row().add(m).add(ind_success.rate(), 3).add(per_success.rate(), 3);
+    }
+    t2.print(std::cout);
+    std::cout << "# expected: both formulations keep the per-epoch success\n"
+                 "# probability bounded below by a constant for all 1 <= m <= Δ;\n"
+                 "# the persistent rule is slightly stronger at small m (its\n"
+                 "# round-1 marginal is 1, so a lone transmitter always lands).\n";
+  }
+  return 0;
+}

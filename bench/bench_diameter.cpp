@@ -1,0 +1,59 @@
+// E5 — the additive D·log n·logΔ term.
+//
+// Paper: at small k the completion time is dominated by
+// (D+log n)·log n·logΔ. We sweep D with cluster chains of fixed clique
+// size (fixed Δ) and small fixed k.
+//
+// Expected shape: total rounds grow ~linearly in D at fixed k; the
+// amortized column shows the additive term has not amortized (contrast
+// with bench_amortized where k is large).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace radiocast;
+  using namespace radiocast::benchutil;
+  const int seeds = seeds_from_env();
+
+  banner("E5 bench_diameter", "additive term ~ D*logn*logD at small k");
+
+  const std::uint32_t k = 16;
+  print_meta(std::cout, "k", std::to_string(k));
+  print_meta(std::cout, "family", "cluster_chain, clique size 8, chain length sweep");
+
+  Table t({"chains", "n", "D", "rounds", "rounds/D", "stage1+2 share", "ok"});
+  std::vector<double> xs, ys;
+  for (const std::uint32_t chains : {2u, 4u, 8u, 16u, 32u}) {
+    const graph::Graph g = graph::make_cluster_chain(chains, 8);
+    const radio::Knowledge know = radio::Knowledge::exact(g);
+    SampleSet total, fixed_share;
+    int ok = 0, runs = 0;
+    for (int s = 0; s < seeds; ++s) {
+      Rng prng(700 + s);
+      const core::Placement placement = core::make_placement(
+          g.num_nodes(), k, core::PlacementMode::kRandom, 16, prng);
+      const core::RunResult r = core::run_kbroadcast(
+          g, baselines::coded_config(know), placement, 800 + s);
+      ++runs;
+      if (r.delivered_all) ++ok;
+      total.add(static_cast<double>(r.total_rounds));
+      fixed_share.add(static_cast<double>(r.stage1_rounds + r.stage2_rounds) /
+                      static_cast<double>(r.total_rounds));
+    }
+    xs.push_back(static_cast<double>(know.d_hat));
+    ys.push_back(total.median());
+    t.row()
+        .add(chains)
+        .add(g.num_nodes())
+        .add(know.d_hat)
+        .add(total.median(), 0)
+        .add(total.median() / know.d_hat, 0)
+        .add(fixed_share.median(), 2)
+        .add(ok == runs ? "yes" : "NO");
+  }
+  t.print(std::cout);
+  const LinearFit fit = fit_linear(xs, ys);
+  std::cout << "# fit: rounds = " << fit.intercept << " + " << fit.slope
+            << " * D (r2=" << fit.r2 << ")\n";
+  std::cout << "# expected: near-linear growth in D at fixed k (r2 close to 1).\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E13 — engineering microbenchmarks of the GF(2) kernels (google-benchmark).
+//
+// These are not paper claims; they document that the decoder is nowhere
+// near the simulation bottleneck: decoding a ⌈log n⌉-wide group costs
+// microseconds, i.e. the simulated radio rounds dominate wall time.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "gf2/coding.hpp"
+#include "gf2/matrix.hpp"
+#include "gf2/solver.hpp"
+
+namespace {
+
+using namespace radiocast;
+
+std::vector<gf2::Payload> make_group(std::size_t w, std::size_t bytes, Rng& rng) {
+  std::vector<gf2::Payload> group;
+  for (std::size_t i = 0; i < w; ++i) {
+    gf2::Payload p(bytes);
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng() & 0xff);
+    group.push_back(std::move(p));
+  }
+  return group;
+}
+
+void BM_EncodeRandom(benchmark::State& state) {
+  const auto w = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const gf2::GroupEncoder enc(make_group(w, 24, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode_random(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EncodeRandom)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DecodeFullGroup(benchmark::State& state) {
+  const auto w = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const gf2::GroupEncoder enc(make_group(w, 24, rng));
+  // Pre-generate plenty of rows so the loop measures decoding only.
+  std::vector<gf2::CodedRow> rows;
+  for (std::size_t i = 0; i < 4 * w + 64; ++i) rows.push_back(enc.encode_random(rng));
+  for (auto _ : state) {
+    gf2::IncrementalDecoder dec(w);
+    std::size_t i = 0;
+    while (!dec.complete() && i < rows.size()) dec.add_row(rows[i++]);
+    benchmark::DoNotOptimize(dec.packets());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * w));
+}
+BENCHMARK(BM_DecodeFullGroup)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_AddRedundantRow(benchmark::State& state) {
+  // Worst-case add_row: full reduction against a complete basis.
+  const auto w = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const gf2::GroupEncoder enc(make_group(w, 24, rng));
+  gf2::IncrementalDecoder dec(w);
+  while (!dec.complete()) dec.add_row(enc.encode_random(rng));
+  for (auto _ : state) {
+    gf2::CodedRow row = enc.encode_random(rng);
+    benchmark::DoNotOptimize(dec.add_row(std::move(row)));
+  }
+}
+BENCHMARK(BM_AddRedundantRow)->Arg(8)->Arg(32);
+
+void BM_MatrixRank(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const gf2::Matrix m = gf2::Matrix::random(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.rank());
+  }
+}
+BENCHMARK(BM_MatrixRank)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_XorPayload(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  gf2::Payload a(bytes), b(bytes);
+  for (auto& x : a) x = static_cast<std::uint8_t>(rng() & 0xff);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng() & 0xff);
+  for (auto _ : state) {
+    gf2::xor_into(a, b);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_XorPayload)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// E12 — Ablation of the paper's two Stage-4 design choices:
+//   (a) group size s = ⌈log n⌉: why not smaller (wasted header budget,
+//       more injection slots) or larger (decode needs more receptions than
+//       a phase provides)?
+//   (b) injection spacing 3: the minimum layer separation that keeps
+//       concurrently active layers collision-disjoint; smaller spacings
+//       break the invariant, larger ones only add latency.
+//
+// Expected shape: (a) total rounds are minimized near s = logn for the
+// coded variant, while the uncoded variant degrades with s (coupon
+// collector) and is best at s = 1; (b) spacing 1-2 loses correctness or
+// stalls, spacing >= 3 works with cost growing linearly in the spacing.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace radiocast;
+  using namespace radiocast::benchutil;
+  const int seeds = seeds_from_env();
+
+  banner("E12 bench_group_size", "ablation: group size s and injection spacing");
+
+  Rng grng(81);
+  const graph::Graph g = graph::make_random_geometric(64, 0.25, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  const std::uint32_t k = 256;
+  print_meta(std::cout, "graph", g.summary());
+  print_meta(std::cout, "k", std::to_string(k));
+  print_meta(std::cout, "log n", std::to_string(know.log_n()));
+
+  auto run_cfg = [&](core::KBroadcastConfig cfg) {
+    SampleSet rounds;
+    int ok = 0, runs = 0;
+    for (int s = 0; s < seeds; ++s) {
+      Rng prng(120 + s);
+      const core::Placement placement = core::make_placement(
+          g.num_nodes(), k, core::PlacementMode::kRandom, 16, prng);
+      const core::RunResult r = core::run_kbroadcast(g, cfg, placement, 130 + s);
+      ++runs;
+      if (r.delivered_all) ++ok;
+      rounds.add(static_cast<double>(r.total_rounds));
+    }
+    return std::make_pair(rounds.median(), std::make_pair(ok, runs));
+  };
+
+  std::cout << "\n-- (a) group size sweep --\n";
+  Table ta({"s", "mode", "total rounds", "r/pkt", "delivered"});
+  for (const std::uint32_t s : {1u, 2u, 4u, know.log_n(), 2 * know.log_n(),
+                                4 * know.log_n(), 8 * know.log_n()}) {
+    for (const bool coded : {true, false}) {
+      core::KBroadcastConfig cfg = baselines::coded_config(know);
+      cfg.coded = coded;
+      cfg.group_size = s;
+      const auto [rounds, okpair] = run_cfg(cfg);
+      ta.row()
+          .add(s)
+          .add(coded ? "coded" : "uncoded")
+          .add(rounds, 0)
+          .add(rounds / k, 1)
+          .add(std::to_string(okpair.first) + "/" + std::to_string(okpair.second));
+    }
+  }
+  ta.print(std::cout);
+
+  std::cout << "\n-- (b) injection spacing sweep (coded, s = log n) --\n";
+  Table tb({"spacing", "total rounds", "r/pkt", "delivered"});
+  for (const std::uint32_t spacing : {1u, 2u, 3u, 4u, 6u, know.d_hat + 1}) {
+    core::KBroadcastConfig cfg = baselines::coded_config(know);
+    cfg.group_spacing = spacing;
+    const auto [rounds, okpair] = run_cfg(cfg);
+    tb.row()
+        .add(spacing)
+        .add(rounds, 0)
+        .add(rounds / k, 1)
+        .add(std::to_string(okpair.first) + "/" + std::to_string(okpair.second));
+  }
+  tb.print(std::cout);
+  std::cout << "# expected: coded cost is near-minimal at s = logn and flat-ish\n"
+               "# beyond; uncoded cost grows with s. Spacing < 3 breaks the\n"
+               "# pipeline disjointness (failures/stalls); spacing > 3 only adds\n"
+               "# proportional latency — 3 is the paper's minimal safe choice.\n";
+  return 0;
+}

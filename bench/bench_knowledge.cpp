@@ -1,0 +1,72 @@
+// E17 — robustness to parameter over-estimation (the paper's footnote 1:
+// "nodes only need to know a polynomial upper bound on n and Δ, and a
+// linear upper bound on D").
+//
+// Every schedule length in the protocol is a function of (n̂, Δ̂, D̂). A
+// polynomial over-estimate n̂ = n^c multiplies log n̂ by c; a linear
+// over-estimate of D multiplies the D-terms by the same factor — so the
+// bounds only degrade by constant factors. We sweep the padding and
+// measure the realized cost relative to exact knowledge.
+//
+// Expected shape: delivery stays 100% at every padding level; total
+// rounds grow by a bounded factor ~ (padding power)² on the additive
+// term (log n̂ enters stage 1 twice) and ~linearly on the k-term (group
+// size and phase lengths scale with log n̂, which cancels in the amortized
+// cost except through forward_epochs; in this implementation the k-term
+// is invariant because both group size and phase length scale by c).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace radiocast;
+  using namespace radiocast::benchutil;
+  const int seeds = seeds_from_env();
+
+  banner("E17 bench_knowledge",
+         "footnote 1: polynomial bounds on n, Delta and linear on D suffice");
+
+  Rng grng(121);
+  const graph::Graph g = graph::make_random_geometric(48, 0.3, grng);
+  const std::uint32_t k = 128;
+  print_meta(std::cout, "graph", g.summary());
+  print_meta(std::cout, "k", std::to_string(k));
+
+  Table t({"n^,Δ^ power", "D^ factor", "n^", "Δ^", "D^", "rounds", "vs exact",
+           "r/pkt", "ok"});
+  double exact_rounds = 0;
+  for (const auto& [power, dfac] :
+       std::vector<std::pair<double, double>>{
+           {1.0, 1.0}, {1.25, 1.0}, {1.5, 1.5}, {2.0, 2.0}, {3.0, 3.0}}) {
+    const radio::Knowledge know = power == 1.0 && dfac == 1.0
+                                      ? radio::Knowledge::exact(g)
+                                      : radio::Knowledge::padded(g, power, dfac);
+    SampleSet rounds;
+    int ok = 0, runs = 0;
+    for (int s = 0; s < seeds; ++s) {
+      Rng prng(200 + s);
+      const core::Placement placement = core::make_placement(
+          g.num_nodes(), k, core::PlacementMode::kRandom, 16, prng);
+      const core::RunResult r = core::run_kbroadcast(
+          g, baselines::coded_config(know), placement, 210 + s);
+      ++runs;
+      if (r.delivered_all) ++ok;
+      rounds.add(static_cast<double>(r.total_rounds));
+    }
+    if (power == 1.0) exact_rounds = rounds.median();
+    t.row()
+        .add(power, 2)
+        .add(dfac, 1)
+        .add(know.n_hat)
+        .add(know.delta_hat)
+        .add(know.d_hat)
+        .add(rounds.median(), 0)
+        .add(rounds.median() / std::max(1.0, exact_rounds), 2)
+        .add(rounds.median() / k, 1)
+        .add(ok == runs ? "yes" : "NO");
+  }
+  t.print(std::cout);
+  std::cout << "# expected: delivery 100% at every padding; cost inflation is a\n"
+               "# bounded constant factor (roughly the product of the extra\n"
+               "# log-factors), never a blow-up — the paper's ad-hoc assumption\n"
+               "# is cheap.\n";
+  return 0;
+}

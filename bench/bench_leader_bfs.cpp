@@ -1,0 +1,64 @@
+// E10 — Fact 1 and Theorem 1: leader election in
+// O((D+log n)·log n·logΔ) rounds and BFS construction in O(D·log n·logΔ)
+// rounds, both w.h.p. correct.
+//
+// Stage lengths are schedule-fixed (that is the point: nodes must agree on
+// them with no communication), so the bench reports the schedule cost and
+// Monte-Carlo-verifies correctness: unique max-id leader; exact BFS
+// distances and valid parents.
+//
+// Expected shape: rounds match the formulas exactly; correctness columns
+// all pass; normalized columns are ~constant across families.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/runner.hpp"
+
+int main() {
+  using namespace radiocast;
+  using namespace radiocast::benchutil;
+  const int seeds = seeds_from_env();
+
+  banner("E10 bench_leader_bfs",
+         "Fact 1: leader in O((D+logn)logn logD); Thm 1: BFS in O(D logn logD)");
+
+  Table t({"family", "n", "D", "stage1 rounds", "s1/((D+logn)lognlogΔ)",
+           "stage2 rounds", "s2/(D logn logΔ)", "leader ok", "bfs ok"});
+  Rng grng(61);
+  for (const std::string& family : graph::named_families()) {
+    const graph::Graph g = graph::make_named(family, 80, grng);
+    const radio::Knowledge know = radio::Knowledge::exact(g);
+    int leader_ok = 0, bfs_ok = 0, runs = 0;
+    std::uint64_t s1 = 0, s2 = 0;
+    for (int s = 0; s < seeds; ++s) {
+      Rng prng(70 + s);
+      const core::Placement placement = core::make_placement(
+          g.num_nodes(), 12, core::PlacementMode::kRandom, 8, prng);
+      const core::RunResult r = core::run_kbroadcast(
+          g, baselines::coded_config(know), placement, 80 + s);
+      ++runs;
+      if (r.leader_ok) ++leader_ok;
+      if (r.bfs_ok) ++bfs_ok;
+      s1 = r.stage1_rounds;
+      s2 = r.stage2_rounds;
+    }
+    const double n1 = static_cast<double>(know.d_hat + know.log_n()) *
+                      know.log_n() * know.log_delta();
+    const double n2 =
+        static_cast<double>(know.d_hat) * know.log_n() * know.log_delta();
+    t.row()
+        .add(family)
+        .add(g.num_nodes())
+        .add(know.d_hat)
+        .add(s1)
+        .add(static_cast<double>(s1) / n1, 2)
+        .add(s2)
+        .add(static_cast<double>(s2) / n2, 2)
+        .add(std::to_string(leader_ok) + "/" + std::to_string(runs))
+        .add(std::to_string(bfs_ok) + "/" + std::to_string(runs));
+  }
+  t.print(std::cout);
+  std::cout << "# expected: normalized stage costs are O(1) constants across\n"
+               "# families; leader and BFS correct in every run (whp claims).\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E19 — sensitivity to the initial packet placement.
+//
+// The paper's bound is placement-independent ("k packets distributed
+// arbitrarily"). The collection stage, however, has a structural
+// bottleneck worth exhibiting: a single source can release at most one
+// packet per round, and all its packets share one BFS path, while spread
+// placements drain in parallel along disjoint subtrees.
+//
+// Expected shape: total rounds are within a small factor across
+// placements (the bound is uniform). Two structural effects are visible:
+// (a) with a SINGLE source, that source is the only election participant,
+// becomes the root itself, and Stage 3 degenerates to one quiet phase —
+// collection is free; (b) with exactly two far-apart sources the
+// non-root source must push all its packets up one congested BFS path
+// (serialized release), the slowest collection case. Dissemination cost
+// is placement-invariant (the root holds everything by then).
+#include <functional>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace radiocast;
+  using namespace radiocast::benchutil;
+  const int seeds = seeds_from_env();
+
+  banner("E19 bench_placement",
+         "Theorem 2 is placement-independent; stage-3 cost shows the structure");
+
+  Rng grng(131);
+  const graph::Graph g = graph::make_random_geometric(64, 0.25, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  print_meta(std::cout, "graph", g.summary());
+
+  // "two far sources": all packets split between node 0 and the node
+  // farthest from it; the higher id wins the election, so the other half
+  // must traverse the network's full depth on one path.
+  const graph::BfsResult from0 = graph::bfs(g, 0);
+  graph::NodeId far = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (from0.dist[v] != graph::kUnreachable && from0.dist[v] >= from0.dist[far]) {
+      far = v;
+    }
+  }
+  auto two_sources = [&](std::uint32_t k, Rng& prng) {
+    core::Placement p(g.num_nodes());
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const graph::NodeId owner = i % 2 == 0 ? 0 : far;
+      radio::Packet pkt;
+      pkt.id = radio::make_packet_id(
+          owner, static_cast<std::uint32_t>(p[owner].size()));
+      pkt.payload.resize(16);
+      for (auto& b : pkt.payload) b = static_cast<std::uint8_t>(prng() & 0xff);
+      p[owner].push_back(std::move(pkt));
+    }
+    return p;
+  };
+
+  Table t({"k", "placement", "stage3", "stage4", "total", "r/pkt", "ok"});
+  for (const std::uint32_t k : {64u, 512u}) {
+    using Maker = std::function<core::Placement(Rng&)>;
+    const std::vector<std::pair<std::string, Maker>> cases = {
+        {"single source",
+         [&](Rng& prng) {
+           return core::make_placement(g.num_nodes(), k,
+                                       core::PlacementMode::kSingleSource, 16, prng);
+         }},
+        {"two far sources", [&](Rng& prng) { return two_sources(k, prng); }},
+        {"random",
+         [&](Rng& prng) {
+           return core::make_placement(g.num_nodes(), k,
+                                       core::PlacementMode::kRandom, 16, prng);
+         }},
+        {"spread even",
+         [&](Rng& prng) {
+           return core::make_placement(g.num_nodes(), k,
+                                       core::PlacementMode::kSpreadEven, 16, prng);
+         }},
+    };
+    for (const auto& [name, maker] : cases) {
+      SampleSet s3, s4, total;
+      int ok = 0, runs = 0;
+      for (int s = 0; s < seeds; ++s) {
+        Rng prng(300 + s);
+        const core::Placement placement = maker(prng);
+        const core::RunResult r = core::run_kbroadcast(
+            g, baselines::coded_config(know), placement, 310 + s);
+        ++runs;
+        if (r.delivered_all) ++ok;
+        s3.add(static_cast<double>(r.stage3_rounds));
+        s4.add(static_cast<double>(r.stage4_rounds));
+        total.add(static_cast<double>(r.total_rounds));
+      }
+      t.row()
+          .add(k)
+          .add(name)
+          .add(s3.median(), 0)
+          .add(s4.median(), 0)
+          .add(total.median(), 0)
+          .add(total.median() / k, 1)
+          .add(ok == runs ? "yes" : "NO");
+    }
+  }
+  t.print(std::cout);
+  std::cout << "# expected: every placement delivers within the same bound and\n"
+               "# stage 4 is placement-invariant. Structural effects: with one\n"
+               "# source (or few), the max-id source itself wins the election, so\n"
+               "# its packets are collected for free and stage 3 stays in the\n"
+               "# first quiet phase; dispersed placements put more packets behind\n"
+               "# radio contention and cross the doubling threshold earlier.\n";
+  return 0;
+}

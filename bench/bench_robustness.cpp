@@ -1,0 +1,71 @@
+// E14 (extension) — robustness to external interference.
+//
+// The paper's model has no external noise; its recovery machinery
+// (ack-driven retries, alarm-driven phase doubling, coded redundancy)
+// nevertheless tolerates it. We inject iid per-reception erasures and
+// measure delivery and slowdown.
+//
+// Expected shape: full delivery up to ~10% loss with a smoothly growing
+// round cost (extra collection phases + extra FORWARD receptions); the
+// uncoded baseline degrades faster because each lost plain packet must be
+// re-coupon-collected, while a lost coded row is replaced by any other row.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace radiocast;
+  using namespace radiocast::benchutil;
+  const int seeds = seeds_from_env();
+
+  banner("E14 bench_robustness",
+         "delivery and slowdown under injected reception loss (extension)");
+
+  Rng grng(91);
+  const graph::Graph g = graph::make_random_geometric(48, 0.3, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  const std::uint32_t k = 128;
+  print_meta(std::cout, "graph", g.summary());
+  print_meta(std::cout, "k", std::to_string(k));
+
+  Table t({"loss", "mode", "median rounds", "slowdown", "delivered", "extra phases"});
+  for (const bool coded : {true, false}) {
+    double baseline_rounds = 0;
+    for (const double loss : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+      SampleSet rounds, phases;
+      int ok = 0, runs = 0;
+      for (int s = 0; s < seeds; ++s) {
+        Rng prng(140 + s);
+        const core::Placement placement = core::make_placement(
+            g.num_nodes(), k, core::PlacementMode::kRandom, 16, prng);
+        core::KBroadcastConfig cfg = coded ? baselines::coded_config(know)
+                                           : baselines::uncoded_pipeline_config(know);
+        radio::FaultModel faults;
+        faults.reception_loss_probability = loss;
+        faults.seed = 555 + static_cast<std::uint64_t>(s);
+        const core::RunResult r =
+            core::run_kbroadcast(g, cfg, placement, 150 + s, 30'000'000, faults);
+        ++runs;
+        if (r.delivered_all) ++ok;
+        rounds.add(static_cast<double>(r.total_rounds));
+        phases.add(static_cast<double>(r.collection_phases));
+      }
+      if (loss == 0.0) baseline_rounds = rounds.median();
+      t.row()
+          .add(loss, 2)
+          .add(coded ? "coded" : "uncoded")
+          .add(rounds.median(), 0)
+          .add(rounds.median() / std::max(1.0, baseline_rounds), 2)
+          .add(std::to_string(ok) + "/" + std::to_string(runs))
+          .add(phases.median() - 1, 0);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "# expected: delivery holds through ~0.1 loss with slowdown from\n"
+               "# extra collection phases; the coded protocol stays several times\n"
+               "# faster than uncoded in absolute rounds at every loss level.\n"
+               "# note: the coded variant's *relative* slowdown is larger because\n"
+               "# its one deterministic step — the root's one-by-one group\n"
+               "# injection — has no redundancy; a lost injection silences that\n"
+               "# distance-1 node for the group. At 0.2 loss this occasionally\n"
+               "# costs delivery, which is far outside the paper's model anyway.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared helpers for the experiment benches (DESIGN.md §3).
+//
+// Every bench prints paper-style tables via radiocast::Table; rows report
+// medians over a small seed grid (override with RADIOCAST_BENCH_SEEDS) so
+// runs are reproducible and fast by default.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/uncoded_pipeline.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::benchutil {
+
+inline int seeds_from_env(int default_seeds = 3) {
+  const char* env = std::getenv("RADIOCAST_BENCH_SEEDS");
+  if (env == nullptr) return default_seeds;
+  const int v = std::atoi(env);
+  return v > 0 ? v : default_seeds;
+}
+
+/// Median completion rounds (and success count) of `algo` over seeds.
+struct AlgoStats {
+  double median_rounds = 0;
+  double median_amortized = 0;
+  int successes = 0;
+  int runs = 0;
+  double median_phases = 0;
+  double median_stage3 = 0;
+  double median_stage4 = 0;
+};
+
+inline AlgoStats run_seeds(baselines::Algo algo, const graph::Graph& g,
+                           const radio::Knowledge& know, std::uint32_t k,
+                           core::PlacementMode mode, int seeds,
+                           std::uint64_t seed_base = 1000) {
+  AlgoStats out;
+  SampleSet rounds, amortized, phases, s3, s4;
+  for (int s = 0; s < seeds; ++s) {
+    Rng prng(seed_base + 17 * static_cast<std::uint64_t>(s));
+    const core::Placement placement =
+        core::make_placement(g.num_nodes(), k, mode, 16, prng);
+    const core::RunResult r = baselines::run_algo(
+        algo, g, know, placement, seed_base + 1000 + static_cast<std::uint64_t>(s));
+    ++out.runs;
+    if (r.delivered_all) ++out.successes;
+    rounds.add(static_cast<double>(r.total_rounds));
+    amortized.add(r.amortized_rounds_per_packet());
+    phases.add(static_cast<double>(r.collection_phases));
+    s3.add(static_cast<double>(r.stage3_rounds));
+    s4.add(static_cast<double>(r.stage4_rounds));
+  }
+  out.median_rounds = rounds.median();
+  out.median_amortized = amortized.median();
+  out.median_phases = phases.median();
+  out.median_stage3 = s3.median();
+  out.median_stage4 = s4.median();
+  return out;
+}
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << " ===\n";
+  print_meta(std::cout, "claim", claim);
+  print_meta(std::cout, "seeds", std::to_string(seeds_from_env()));
+}
+
+}  // namespace radiocast::benchutil

@@ -1,0 +1,199 @@
+// simulate — a command-line driver for the whole testbed.
+//
+//   $ ./simulate [options]
+//     --family NAME      topology family (default: geometric; see --list)
+//     --n N              number of nodes (default 64)
+//     --k K              number of packets (default 64)
+//     --algo NAME        coded | uncoded | seqbgi | gossip (default coded)
+//     --placement MODE   random | single | spread (default random)
+//     --payload BYTES    packet payload size (default 16)
+//     --seed S           master seed (default 1)
+//     --loss P           injected reception-loss probability (default 0)
+//     --padded           use padded (polynomial) knowledge instead of exact
+//     --graph FILE       load an edge-list topology instead of --family
+//     --dot FILE         also write the topology as Graphviz DOT
+//     --list             list the built-in topology families
+//
+// Prints a one-run report: per-stage rounds, message-kind breakdown,
+// channel statistics, and the verification verdict.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "baselines/uncoded_pipeline.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace {
+
+struct Options {
+  std::string family = "geometric";
+  std::uint32_t n = 64;
+  std::uint32_t k = 64;
+  std::string algo = "coded";
+  std::string placement = "random";
+  std::uint32_t payload = 16;
+  std::uint64_t seed = 1;
+  double loss = 0.0;
+  bool padded = false;
+  std::string graph_file;
+  std::string dot_file;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "simulate: %s (run with --help)\n", message.c_str());
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--family") opt.family = need_value(i);
+    else if (arg == "--n") opt.n = static_cast<std::uint32_t>(std::stoul(need_value(i)));
+    else if (arg == "--k") opt.k = static_cast<std::uint32_t>(std::stoul(need_value(i)));
+    else if (arg == "--algo") opt.algo = need_value(i);
+    else if (arg == "--placement") opt.placement = need_value(i);
+    else if (arg == "--payload") opt.payload = static_cast<std::uint32_t>(std::stoul(need_value(i)));
+    else if (arg == "--seed") opt.seed = std::stoull(need_value(i));
+    else if (arg == "--loss") opt.loss = std::stod(need_value(i));
+    else if (arg == "--padded") opt.padded = true;
+    else if (arg == "--graph") opt.graph_file = need_value(i);
+    else if (arg == "--dot") opt.dot_file = need_value(i);
+    else if (arg == "--list") {
+      for (const auto& f : radiocast::graph::named_families()) std::puts(f.c_str());
+      std::exit(0);
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts("see the comment block at the top of examples/simulate.cpp");
+      std::exit(0);
+    } else {
+      usage_error("unknown option " + arg);
+    }
+  }
+  return opt;
+}
+
+radiocast::baselines::Algo algo_from_name(const std::string& name) {
+  using radiocast::baselines::Algo;
+  if (name == "coded") return Algo::kCoded;
+  if (name == "uncoded") return Algo::kUncodedPipeline;
+  if (name == "seqbgi") return Algo::kSequentialBgi;
+  if (name == "gossip") return Algo::kGossipFlood;
+  usage_error("unknown --algo " + name);
+}
+
+radiocast::core::PlacementMode placement_from_name(const std::string& name) {
+  using radiocast::core::PlacementMode;
+  if (name == "random") return PlacementMode::kRandom;
+  if (name == "single") return PlacementMode::kSingleSource;
+  if (name == "spread") return PlacementMode::kSpreadEven;
+  usage_error("unknown --placement " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace radiocast;
+  const Options opt = parse(argc, argv);
+
+  // Topology.
+  Rng grng(opt.seed);
+  graph::Graph g;
+  if (!opt.graph_file.empty()) {
+    std::ifstream in(opt.graph_file);
+    if (!in) usage_error("cannot open " + opt.graph_file);
+    std::string error;
+    auto parsed = graph::read_edge_list(in, &error);
+    if (!parsed.has_value()) usage_error("bad graph file: " + error);
+    g = std::move(*parsed);
+    if (!graph::is_connected(g)) usage_error("graph must be connected");
+  } else {
+    g = graph::make_named(opt.family, opt.n, grng);
+  }
+  if (!opt.dot_file.empty()) {
+    std::ofstream out(opt.dot_file);
+    graph::write_dot(out, g);
+  }
+
+  const radio::Knowledge know =
+      opt.padded ? radio::Knowledge::padded(g) : radio::Knowledge::exact(g);
+  std::printf("topology : %s (D=%u)\n", g.summary().c_str(), know.d_hat);
+  std::printf("knowledge: n^=%u delta^=%u D^=%u%s\n", know.n_hat, know.delta_hat,
+              know.d_hat, opt.padded ? " (padded)" : "");
+
+  // Workload.
+  Rng prng(opt.seed + 1);
+  const core::Placement placement = core::make_placement(
+      g.num_nodes(), opt.k, placement_from_name(opt.placement), opt.payload, prng);
+
+  // Run. Fault injection goes through run_kbroadcast directly (the
+  // registry keeps baseline signatures uniform).
+  core::RunResult r;
+  const baselines::Algo algo = algo_from_name(opt.algo);
+  if (opt.loss > 0.0 &&
+      (algo == baselines::Algo::kCoded || algo == baselines::Algo::kUncodedPipeline)) {
+    radio::FaultModel faults;
+    faults.reception_loss_probability = opt.loss;
+    faults.seed = opt.seed + 2;
+    const core::KBroadcastConfig cfg = algo == baselines::Algo::kCoded
+                                           ? baselines::coded_config(know)
+                                           : baselines::uncoded_pipeline_config(know);
+    r = core::run_kbroadcast(g, cfg, placement, opt.seed + 3, 0, faults);
+  } else {
+    if (opt.loss > 0.0) usage_error("--loss supports coded/uncoded only");
+    r = baselines::run_algo(algo, g, know, placement, opt.seed + 3);
+  }
+
+  // Report.
+  std::printf("algorithm: %s\n", baselines::algo_name(algo).c_str());
+  std::printf("result   : %s (%u/%u nodes complete%s)\n",
+              r.delivered_all ? "DELIVERED" : "INCOMPLETE", r.nodes_complete, r.n,
+              r.timed_out ? ", timed out" : "");
+  std::printf("rounds   : %llu total (%.1f per packet)\n",
+              static_cast<unsigned long long>(r.total_rounds),
+              r.amortized_rounds_per_packet());
+  if (r.stage1_rounds != 0) {
+    std::printf("stages   : leader=%llu bfs=%llu collect=%llu (%u phases) "
+                "disseminate=%llu\n",
+                static_cast<unsigned long long>(r.stage1_rounds),
+                static_cast<unsigned long long>(r.stage2_rounds),
+                static_cast<unsigned long long>(r.stage3_rounds),
+                r.collection_phases,
+                static_cast<unsigned long long>(r.stage4_rounds));
+  }
+  std::printf("channel  : %llu transmissions, %llu deliveries, %llu collision "
+              "slots, %llu deaf slots, %llu fault drops\n",
+              static_cast<unsigned long long>(r.counters.transmissions),
+              static_cast<unsigned long long>(r.counters.deliveries),
+              static_cast<unsigned long long>(r.counters.collision_slots),
+              static_cast<unsigned long long>(r.counters.deaf_slots),
+              static_cast<unsigned long long>(r.counters.fault_drops));
+  std::printf("bits     : %llu transmitted, %llu delivered\n",
+              static_cast<unsigned long long>(r.counters.bits_transmitted),
+              static_cast<unsigned long long>(r.counters.bits_delivered));
+
+  Table kinds({"kind", "transmissions", "deliveries"});
+  for (std::size_t kind = 0; kind < radio::kNumMessageKinds; ++kind) {
+    if (r.counters.transmissions_by_kind[kind] == 0 &&
+        r.counters.deliveries_by_kind[kind] == 0) {
+      continue;
+    }
+    kinds.row()
+        .add(radio::message_kind_name(kind))
+        .add(r.counters.transmissions_by_kind[kind])
+        .add(r.counters.deliveries_by_kind[kind]);
+  }
+  if (kinds.num_rows() > 0) kinds.print(std::cout);
+  return r.delivered_all ? 0 : 1;
+}

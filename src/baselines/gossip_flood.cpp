@@ -1,0 +1,127 @@
+#include "baselines/gossip_flood.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "radio/network.hpp"
+
+namespace radiocast::baselines {
+
+GossipFloodNode::GossipFloodNode(const Config& cfg, radio::NodeId self,
+                                 std::vector<radio::Packet> own_packets, Rng rng)
+    : cfg_(cfg), self_(self), rng_(rng), decay_(cfg.know.log_delta()) {
+  for (radio::Packet& p : own_packets) {
+    have_.emplace(p.id, p);
+    active_.push_back(ActivePacket{std::move(p), 0});
+  }
+}
+
+std::uint64_t GossipFloodNode::active_window_rounds() const {
+  if (cfg_.age_base_epochs == 0) {
+    return std::numeric_limits<std::uint64_t>::max();  // never expire
+  }
+  const std::uint64_t epochs =
+      cfg_.age_base_epochs +
+      static_cast<std::uint64_t>(cfg_.age_per_packet_epochs) * have_.size();
+  return epochs * cfg_.know.log_delta();
+}
+
+void GossipFloodNode::learn(radio::Round round, const radio::Packet& packet) {
+  if (have_.emplace(packet.id, packet).second) {
+    active_.push_back(ActivePacket{packet, round});
+  }
+}
+
+std::optional<radio::MessageBody> GossipFloodNode::on_transmit(radio::Round round) {
+  if (active_.empty()) return std::nullopt;
+  if (!decay_.decide(round, rng_)) return std::nullopt;
+  const std::uint64_t window = active_window_rounds();
+  // Pick a uniformly random active packet; expired picks are swap-removed
+  // and retried a few times (lazy compaction keeps this O(1) amortized).
+  for (int attempts = 0; attempts < 8 && !active_.empty(); ++attempts) {
+    const auto index = static_cast<std::size_t>(rng_.next_below(active_.size()));
+    if (round - active_[index].learned >= window) {
+      active_[index] = std::move(active_.back());
+      active_.pop_back();
+      continue;
+    }
+    radio::PlainPacketMsg msg;
+    msg.packet = active_[index].packet;
+    msg.group_count = cfg_.expected_packets;
+    msg.group_size = 1;
+    return msg;
+  }
+  return std::nullopt;
+}
+
+void GossipFloodNode::on_receive(radio::Round round, const radio::Message& msg) {
+  if (const auto* plain = std::get_if<radio::PlainPacketMsg>(&msg.body)) {
+    learn(round, plain->packet);
+  }
+}
+
+std::vector<radio::Packet> GossipFloodNode::delivered_packets() const {
+  std::vector<radio::Packet> out;
+  out.reserve(have_.size());
+  for (const auto& [id, packet] : have_) out.push_back(packet);
+  std::sort(out.begin(), out.end(),
+            [](const radio::Packet& a, const radio::Packet& b) { return a.id < b.id; });
+  return out;
+}
+
+core::RunResult run_gossip_flood(const graph::Graph& g, const radio::Knowledge& know,
+                                 const core::Placement& placement, std::uint64_t seed,
+                                 std::uint64_t max_rounds) {
+  RC_ASSERT(g.finalized());
+  RC_ASSERT(placement.size() == g.num_nodes());
+  const std::vector<radio::Packet> truth = core::placement_packets(placement);
+
+  core::RunResult result;
+  result.n = g.num_nodes();
+  result.k = static_cast<std::uint32_t>(truth.size());
+  if (truth.empty()) {
+    result.delivered_all = true;
+    result.nodes_complete = g.num_nodes();
+    return result;
+  }
+
+  GossipFloodNode::Config cfg;
+  cfg.know = know;
+  cfg.expected_packets = result.k;
+
+  if (max_rounds == 0) {
+    // Generous: the adaptive window makes worst-case time ~ k^2-ish in the
+    // contention-bound regime.
+    max_rounds = 200ull * (know.d_hat + know.log_n()) * know.log_delta() +
+                 400ull * result.k * know.log_delta() * know.log_n();
+  }
+
+  radio::Network net(g);
+  Rng master(seed);
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    Rng child = master.split();
+    net.set_protocol(v,
+                     std::make_unique<GossipFloodNode>(cfg, v, placement[v], child));
+    if (!placement[v].empty()) net.wake_at_start(v);
+  }
+
+  const bool all_done = net.run_until_done(max_rounds);
+  result.timed_out = !all_done;
+  result.total_rounds = net.current_round();
+  result.counters = net.trace().counters();
+
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& node = static_cast<const GossipFloodNode&>(net.protocol(v));
+    std::vector<radio::Packet> got = node.delivered_packets();
+    if (got.size() == truth.size() && std::equal(got.begin(), got.end(), truth.begin()))
+      ++result.nodes_complete;
+  }
+  result.delivered_all = result.nodes_complete == g.num_nodes();
+  result.leader_ok = true;  // not applicable
+  result.bfs_ok = true;     // not applicable
+  return result;
+}
+
+}  // namespace radiocast::baselines

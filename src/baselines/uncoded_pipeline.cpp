@@ -1,0 +1,62 @@
+#include "baselines/uncoded_pipeline.hpp"
+
+#include "baselines/gossip_flood.hpp"
+#include "baselines/sequential_bgi.hpp"
+#include "common/assert.hpp"
+
+namespace radiocast::baselines {
+
+core::KBroadcastConfig coded_config(const radio::Knowledge& know) {
+  core::KBroadcastConfig cfg;
+  cfg.know = know;
+  cfg.coded = true;
+  return cfg;
+}
+
+core::KBroadcastConfig uncoded_pipeline_config(const radio::Knowledge& know) {
+  core::KBroadcastConfig cfg;
+  cfg.know = know;
+  cfg.coded = false;
+  cfg.group_size = 1;
+  return cfg;
+}
+
+const std::vector<Algo>& all_algos() {
+  static const std::vector<Algo> algos = {Algo::kCoded, Algo::kUncodedPipeline,
+                                          Algo::kSequentialBgi, Algo::kGossipFlood};
+  return algos;
+}
+
+std::string algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::kCoded:
+      return "coded (this paper)";
+    case Algo::kUncodedPipeline:
+      return "uncoded pipeline (BII-style)";
+    case Algo::kSequentialBgi:
+      return "sequential BGI";
+    case Algo::kGossipFlood:
+      return "gossip flood (naive)";
+  }
+  RC_ASSERT(false);
+}
+
+core::RunResult run_algo(Algo algo, const graph::Graph& g,
+                         const radio::Knowledge& know,
+                         const core::Placement& placement, std::uint64_t seed,
+                         std::uint64_t max_rounds) {
+  switch (algo) {
+    case Algo::kCoded:
+      return core::run_kbroadcast(g, coded_config(know), placement, seed, max_rounds);
+    case Algo::kUncodedPipeline:
+      return core::run_kbroadcast(g, uncoded_pipeline_config(know), placement, seed,
+                                  max_rounds);
+    case Algo::kSequentialBgi:
+      return run_sequential_bgi(g, know, placement, seed, 0, max_rounds);
+    case Algo::kGossipFlood:
+      return run_gossip_flood(g, know, placement, seed, max_rounds);
+  }
+  RC_ASSERT(false);
+}
+
+}  // namespace radiocast::baselines

@@ -1,0 +1,41 @@
+// Lightweight contract checking for radiocast.
+//
+// RC_ASSERT is a hard invariant check that stays on in every build type:
+// simulator correctness depends on these invariants and the cost is
+// negligible compared to the round loop. RC_DCHECK compiles out in NDEBUG
+// builds and is meant for hot-path checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace radiocast::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "radiocast assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace radiocast::detail
+
+#define RC_ASSERT(expr)                                                       \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::radiocast::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);   \
+    }                                                                         \
+  } while (0)
+
+#define RC_ASSERT_MSG(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::radiocast::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define RC_DCHECK(expr) ((void)0)
+#else
+#define RC_DCHECK(expr) RC_ASSERT(expr)
+#endif

@@ -1,0 +1,55 @@
+// The paper's probabilistic toolbox (Section 1.1 / Appendix A) as
+// executable formulas, so tests and benches can check the stated tail
+// bounds against Monte-Carlo truth.
+//
+//   Lemma 1 (Bernoulli sum): with r = ⌊(3d + 2τ)/p⌋ trials of success
+//   probability p, Pr(fewer than d successes) <= e^-τ.
+//
+//   Lemma 2 (geometric sum): for independent geometrics X_i with
+//   parameters p_i, μ = Σ 1/p_i, Pr(Σ X_i >= 2μ + 4·ln(1/ε)/p_min) <= ε.
+//
+//   Lemma 3 (random binary matrix): an l×w iid-uniform GF(2) matrix has
+//   full column rank with probability >= 1-ε once
+//   l >= 2(w+2) + 8·ln(1/ε)   (see gf2::Matrix for the object itself).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace radiocast {
+
+/// Lemma 1's trial count r = ⌊(3d + 2τ)/p⌋.
+inline std::uint64_t lemma1_trials(double p, double d, double tau) {
+  RC_ASSERT(p > 0.0 && p <= 1.0);
+  RC_ASSERT(d >= 1.0 && tau >= 0.0);
+  return static_cast<std::uint64_t>(std::floor((3.0 * d + 2.0 * tau) / p));
+}
+
+/// Lemma 1's failure-probability bound e^-τ.
+inline double lemma1_bound(double tau) { return std::exp(-tau); }
+
+/// Lemma 2's threshold t = 2μ + 4·ln(1/ε)/p_min for the given parameters.
+inline double lemma2_threshold(const std::vector<double>& ps, double eps) {
+  RC_ASSERT(!ps.empty());
+  RC_ASSERT(eps > 0.0 && eps < 1.0);
+  double mu = 0.0;
+  double p_min = 1.0;
+  for (double p : ps) {
+    RC_ASSERT(p > 0.0 && p <= 1.0);
+    mu += 1.0 / p;
+    p_min = std::min(p_min, p);
+  }
+  return 2.0 * mu + 4.0 * std::log(1.0 / eps) / p_min;
+}
+
+/// Lemma 3's row threshold l = ⌈2(w+2) + 8·ln(1/ε)⌉.
+inline std::uint64_t lemma3_rows(std::uint64_t w, double eps) {
+  RC_ASSERT(eps > 0.0 && eps < 1.0);
+  return static_cast<std::uint64_t>(
+      std::ceil(2.0 * (static_cast<double>(w) + 2.0) + 8.0 * std::log(1.0 / eps)));
+}
+
+}  // namespace radiocast

@@ -1,0 +1,48 @@
+// Small integer-math helpers used throughout the protocol schedules.
+//
+// The paper's schedules are all phrased in terms of ceil(log2 .) quantities
+// (log n, log Delta); we centralize the exact rounding conventions here so
+// every stage computes identical phase lengths.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace radiocast {
+
+/// ceil(log2(x)) for x >= 1; ceil_log2(1) == 0.
+constexpr std::uint32_t ceil_log2(std::uint64_t x) {
+  RC_DCHECK(x >= 1);
+  return x <= 1 ? 0u
+               : static_cast<std::uint32_t>(
+                     64 - std::countl_zero(static_cast<std::uint64_t>(x - 1)));
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr std::uint32_t floor_log2(std::uint64_t x) {
+  RC_DCHECK(x >= 1);
+  return static_cast<std::uint32_t>(63 - std::countl_zero(x));
+}
+
+/// ceil(a / b) for positive integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  RC_DCHECK(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// The paper's `⌈log n⌉`, but never less than 1 — the group size and header
+/// width in Stage 4 must be positive even for toy networks with n <= 2.
+constexpr std::uint32_t log2_at_least_one(std::uint64_t x) {
+  const std::uint32_t v = ceil_log2(x);
+  return v == 0 ? 1u : v;
+}
+
+/// Next power of two >= x (x >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  RC_DCHECK(x >= 1);
+  return x <= 1 ? 1ULL : (1ULL << ceil_log2(x));
+}
+
+}  // namespace radiocast

@@ -1,0 +1,4 @@
+#include "common/rng.hpp"
+
+// Header-only implementation; this translation unit exists so the module has
+// a stable home in the build graph and a place for future out-of-line code.

@@ -1,0 +1,129 @@
+// Deterministic pseudo-random number generation for radiocast.
+//
+// Every randomized component in the library draws from an explicitly seeded
+// Rng so that a whole simulation is reproducible from a single 64-bit seed.
+// The generator is xoshiro256** (public domain, Blackman & Vigna), seeded
+// via splitmix64 as its authors recommend. We deliberately do not use
+// std::mt19937 because its state-space seeding from a single word is poor
+// and its implementation is allowed to differ subtly across standard
+// libraries; xoshiro gives us bit-identical streams everywhere.
+//
+// Rng also provides `split()`, which derives an independent child stream.
+// The simulator gives each node its own child stream, so that the behaviour
+// of one node does not depend on how many random draws another node made —
+// this is essential for the "same seed => same run" property under protocol
+// refactoring.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace radiocast {
+
+/// splitmix64 step: used for seeding and stream splitting.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with convenience sampling helpers.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept, so it can also be
+/// plugged into <random> distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator from a single 64-bit seed.
+  explicit Rng(std::uint64_t seed = 0x9df3a2b1c4e5f607ULL) { reseed(seed); }
+
+  /// Re-initializes the state from `seed` (full splitmix64 expansion).
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent child generator. The child stream is a
+  /// deterministic function of the parent state, and advancing the parent
+  /// once decorrelates subsequent children.
+  Rng split() {
+    std::uint64_t s = (*this)();
+    Rng child(0);
+    std::uint64_t sm = s ^ 0x5851f42d4c957f2dULL;
+    for (auto& word : child.state_) word = splitmix64(sm);
+    return child;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound) {
+    RC_DCHECK(bound > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi) {
+    RC_DCHECK(lo <= hi);
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool next_bool(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+  /// A single uniformly random bit.
+  bool next_bit() { return ((*this)() >> 63) != 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace radiocast

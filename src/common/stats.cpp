@@ -1,0 +1,133 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace radiocast {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  RC_ASSERT(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  RC_ASSERT(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+double SampleSet::quantile(double q) const {
+  RC_ASSERT(!samples_.empty());
+  RC_ASSERT(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+namespace {
+constexpr double kZ95 = 1.959963984540054;
+
+double wilson_bound(std::uint64_t successes, std::uint64_t trials, bool upper) {
+  if (trials == 0) return upper ? 1.0 : 0.0;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = kZ95 * kZ95;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin = kZ95 * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  const double bound = (center + (upper ? margin : -margin)) / denom;
+  return std::clamp(bound, 0.0, 1.0);
+}
+}  // namespace
+
+double BernoulliCounter::wilson_lower95() const {
+  return wilson_bound(successes_, trials_, /*upper=*/false);
+}
+
+double BernoulliCounter::wilson_upper95() const {
+  return wilson_bound(successes_, trials_, /*upper=*/true);
+}
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  RC_ASSERT(x.size() == y.size());
+  LinearFit fit;
+  const std::size_t n = x.size();
+  if (n < 2) return fit;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace radiocast

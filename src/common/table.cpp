@@ -1,0 +1,82 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace radiocast {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  RC_ASSERT(!headers_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& value) {
+  RC_ASSERT_MSG(!rows_.empty(), "call row() before add()");
+  RC_ASSERT_MSG(rows_.back().size() < headers_.size(), "row has too many cells");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::add(const char* value) { return add(std::string(value)); }
+
+Table& Table::add(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return add(std::string(buf));
+}
+
+Table& Table::add(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return add(std::string(buf));
+}
+
+Table& Table::add(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  return add(std::string(buf));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << ' ' << cell;
+      for (std::size_t pad = cell.size(); pad < widths[c]; ++pad) out << ' ';
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  print_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) out << '-';
+    out << "|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_meta(std::ostream& out, const std::string& key, const std::string& value) {
+  out << "# " << key << ": " << value << '\n';
+}
+
+}  // namespace radiocast

@@ -1,0 +1,43 @@
+// ASCII table writer for benchmark output.
+//
+// Every bench binary in bench/ prints paper-style tables; this writer keeps
+// them aligned and machine-greppable (a `#` prefix marks metadata lines so
+// downstream plotting scripts can skip them).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace radiocast {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; values are appended with `add`.
+  Table& row();
+
+  Table& add(const std::string& value);
+  Table& add(const char* value);
+  Table& add(double value, int precision = 2);
+  Table& add(std::int64_t value);
+  Table& add(std::uint64_t value);
+  Table& add(int value) { return add(static_cast<std::int64_t>(value)); }
+  Table& add(unsigned value) { return add(static_cast<std::uint64_t>(value)); }
+
+  /// Renders the table (header, separator, rows) to `out`.
+  void print(std::ostream& out) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a `# key: value` metadata line understood by the plotting helpers.
+void print_meta(std::ostream& out, const std::string& key, const std::string& value);
+
+}  // namespace radiocast

@@ -1,0 +1,223 @@
+#include "core/dissemination.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/math_util.hpp"
+
+namespace radiocast::core {
+
+gf2::Payload packet_wire_image(const radio::Packet& packet) {
+  gf2::Payload wire(8 + packet.payload.size());
+  for (int b = 0; b < 8; ++b) {
+    wire[b] = static_cast<std::uint8_t>((packet.id >> (8 * b)) & 0xff);
+  }
+  std::copy(packet.payload.begin(), packet.payload.end(), wire.begin() + 8);
+  return wire;
+}
+
+radio::Packet packet_from_wire_image(const gf2::Payload& wire) {
+  RC_ASSERT(wire.size() >= 8);
+  radio::Packet packet;
+  packet.id = 0;
+  for (int b = 0; b < 8; ++b) {
+    packet.id |= static_cast<radio::PacketId>(wire[b]) << (8 * b);
+  }
+  packet.payload.assign(wire.begin() + 8, wire.end());
+  return packet;
+}
+
+DisseminationState::DisseminationState(const Config& cfg, radio::NodeId self,
+                                       bool is_root, std::optional<std::uint32_t> dist,
+                                       Rng* rng)
+    : cfg_(cfg), self_(self), is_root_(is_root), dist_(dist), rng_(rng) {
+  RC_ASSERT(rng != nullptr);
+  if (is_root_) {
+    RC_ASSERT(!dist.has_value() || *dist == 0);
+    dist_ = 0;
+  }
+}
+
+void DisseminationState::set_root_packets(std::vector<radio::Packet> packets) {
+  RC_ASSERT(is_root_);
+  std::sort(packets.begin(), packets.end(),
+            [](const radio::Packet& a, const radio::Packet& b) { return a.id < b.id; });
+  const std::uint32_t s = cfg_.rc.group_size;
+  group_count_ = packets.empty()
+                     ? 0
+                     : static_cast<std::uint32_t>(ceil_div(packets.size(), s));
+  group_count_known_ = true;
+  groups_.clear();
+  groups_.resize(group_count_);
+  for (std::uint32_t j = 0; j < group_count_; ++j) {
+    GroupState& gs = groups_[j];
+    const std::size_t begin = static_cast<std::size_t>(j) * s;
+    const std::size_t end = std::min(packets.size(), begin + s);
+    gs.size = static_cast<std::uint16_t>(end - begin);
+    gs.packets.assign(packets.begin() + begin, packets.begin() + end);
+    gs.complete = true;
+  }
+  refresh_complete();
+}
+
+void DisseminationState::ensure_groups(std::uint32_t group_count) {
+  if (!group_count_known_) {
+    group_count_ = group_count;
+    group_count_known_ = true;
+    groups_.resize(group_count);
+    refresh_complete();
+  }
+  RC_ASSERT_MSG(group_count_ == group_count, "inconsistent group_count in headers");
+}
+
+DisseminationState::GroupState& DisseminationState::group(std::uint32_t group_id,
+                                                          std::uint16_t group_size) {
+  RC_ASSERT(group_id < groups_.size());
+  GroupState& gs = groups_[group_id];
+  if (gs.size == 0) gs.size = group_size;
+  RC_ASSERT(gs.size == group_size);
+  if (!gs.decoder.has_value() && !gs.complete) {
+    gs.decoder.emplace(gs.size);
+  }
+  return gs;
+}
+
+void DisseminationState::maybe_finish_group(GroupState& gs) {
+  if (gs.complete || !gs.decoder.has_value() || !gs.decoder->complete()) return;
+  gs.packets.clear();
+  gs.packets.reserve(gs.size);
+  for (const gf2::Payload& wire : gs.decoder->packets()) {
+    gs.packets.push_back(packet_from_wire_image(wire));
+  }
+  gs.decoder.reset();
+  gs.complete = true;
+  refresh_complete();
+}
+
+void DisseminationState::refresh_complete() {
+  if (!group_count_known_) {
+    complete_ = false;
+    return;
+  }
+  complete_ = std::all_of(groups_.begin(), groups_.end(),
+                          [](const GroupState& gs) { return gs.complete; });
+}
+
+std::optional<radio::MessageBody> DisseminationState::on_transmit(
+    std::uint64_t rel_round) {
+  const std::uint64_t phase_len = cfg_.rc.dissem_phase_rounds;
+  const std::uint64_t phase = rel_round / phase_len;
+  const std::uint64_t off = rel_round % phase_len;
+  const std::uint32_t spacing = cfg_.rc.group_spacing;
+
+  if (is_root_) {
+    // Injection phase for group j = phase / spacing.
+    if (!group_count_known_ || phase % spacing != 0) return std::nullopt;
+    const std::uint64_t j = phase / spacing;
+    if (j >= group_count_) return std::nullopt;
+    const GroupState& gs = groups_[j];
+    if (off >= gs.size) return std::nullopt;
+    radio::PlainPacketMsg msg;
+    msg.packet = gs.packets[off];
+    msg.group_id = static_cast<std::uint32_t>(j);
+    msg.group_count = group_count_;
+    msg.index_in_group = static_cast<std::uint16_t>(off);
+    msg.group_size = gs.size;
+    return msg;
+  }
+
+  // Non-root layers forward group j in phase spacing*j + dist.
+  if (!dist_.has_value() || *dist_ == 0 || !group_count_known_) return std::nullopt;
+  if (phase < *dist_) return std::nullopt;
+  const std::uint64_t rel_phase = phase - *dist_;
+  if (rel_phase % spacing != 0) return std::nullopt;
+  const std::uint64_t j = rel_phase / spacing;
+  if (j >= group_count_) return std::nullopt;
+  GroupState& gs = groups_[j];
+  if (!gs.complete) return std::nullopt;  // failed to decode in time: sit out
+
+  // FORWARD: Decay-paced coded (or plain) transmission.
+  const std::uint32_t epoch_len = cfg_.rc.know.log_delta();
+  const std::uint64_t forward_rounds =
+      static_cast<std::uint64_t>(cfg_.rc.forward_epochs) * epoch_len;
+  if (off >= forward_rounds) return std::nullopt;
+  const auto s = static_cast<std::uint32_t>(off % epoch_len);
+  if (!rng_->next_bool(1.0 / static_cast<double>(1ULL << (s + 1)))) {
+    return std::nullopt;
+  }
+
+  if (cfg_.rc.coded) {
+    if (!gs.encoder.has_value()) {
+      std::vector<gf2::Payload> wires;
+      wires.reserve(gs.packets.size());
+      for (const radio::Packet& p : gs.packets) wires.push_back(packet_wire_image(p));
+      gs.encoder.emplace(std::move(wires));
+    }
+    const gf2::BitVec coeffs = gf2::BitVec::random(gs.size, *rng_);
+    gf2::CodedRow row = gs.encoder->encode(coeffs);
+    radio::CodedMsg msg;
+    msg.group_id = static_cast<std::uint32_t>(j);
+    msg.group_count = group_count_;
+    msg.group_size = gs.size;
+    msg.coeffs = coeffs.to_word();
+    msg.payload = std::move(row.payload);
+    return msg;
+  }
+
+  // Uncoded baseline: one uniformly chosen plain packet of the group.
+  const auto index = static_cast<std::size_t>(rng_->next_below(gs.size));
+  radio::PlainPacketMsg msg;
+  msg.packet = gs.packets[index];
+  msg.group_id = static_cast<std::uint32_t>(j);
+  msg.group_count = group_count_;
+  msg.index_in_group = static_cast<std::uint16_t>(index);
+  msg.group_size = gs.size;
+  return msg;
+}
+
+void DisseminationState::on_receive(std::uint64_t /*rel_round*/,
+                                    const radio::Message& msg) {
+  if (is_root_) return;  // the root already owns everything
+
+  if (const auto* plain = std::get_if<radio::PlainPacketMsg>(&msg.body)) {
+    if (plain->group_count == 0) return;
+    ensure_groups(plain->group_count);
+    GroupState& gs = group(plain->group_id, plain->group_size);
+    if (gs.complete) return;
+    ++rows_received_;
+    gf2::CodedRow row;
+    row.coeffs = gf2::BitVec::unit(gs.size, plain->index_in_group);
+    row.payload = packet_wire_image(plain->packet);
+    if (!gs.decoder->add_row(std::move(row))) ++redundant_rows_;
+    maybe_finish_group(gs);
+    return;
+  }
+
+  if (const auto* coded = std::get_if<radio::CodedMsg>(&msg.body)) {
+    if (coded->group_count == 0) return;
+    ensure_groups(coded->group_count);
+    GroupState& gs = group(coded->group_id, coded->group_size);
+    if (gs.complete) return;
+    ++rows_received_;
+    gf2::CodedRow row;
+    row.coeffs = gf2::BitVec::from_word(gs.size, coded->coeffs);
+    row.payload = coded->payload;
+    if (!gs.decoder->add_row(std::move(row))) ++redundant_rows_;
+    maybe_finish_group(gs);
+    return;
+  }
+}
+
+std::vector<radio::Packet> DisseminationState::packets() const {
+  std::vector<radio::Packet> out;
+  for (const GroupState& gs : groups_) {
+    if (!gs.complete) continue;
+    out.insert(out.end(), gs.packets.begin(), gs.packets.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const radio::Packet& a, const radio::Packet& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace radiocast::core

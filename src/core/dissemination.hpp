@@ -1,0 +1,111 @@
+// Stage 4 — packet dissemination with random linear network coding (the
+// paper's Section 2.4).
+//
+// The root partitions the k collected packets into g = ⌈k/s⌉ groups of
+// s = ⌈log n̂⌉ packets. Group j is injected in phase `spacing·j`: the root
+// transmits the group's packets one by one (its distance-1 neighbors hear
+// them without contention). In phase `spacing·j + d` the distance-d layer
+// runs FORWARD for group j: Decay-paced transmissions where every
+// transmission is a uniformly random XOR subset of the group, carrying the
+// subset bitmap in the header (CodedMsg). A receiver feeds every row into
+// an incremental GF(2) decoder and owns the group as soon as the
+// coefficient matrix reaches full rank (Lemma 3 => O(log n) receptions
+// suffice w.h.p.; Lemma 6 => the whole layer decodes within one phase).
+//
+// Because consecutive groups are `spacing >= 3` phases apart, the sets of
+// simultaneously transmitting layers are >= 3 hops apart, so no receiver
+// can hear two groups at once (the paper's pipelining argument).
+//
+// The same state machine also implements the *uncoded* BII-style baseline
+// (coded = false): transmitters send one uniformly chosen plain packet of
+// the group; receivers need every packet individually (with s = 1 this is
+// exactly one packet per 3-phase injection slot, which reproduces the
+// O(k·log n·logΔ) baseline bound; with s > 1 it exposes the
+// coupon-collector penalty that coding removes).
+//
+// Packet identity survives coding because the coded payload is the XOR of
+// wire images: wire = packet id (8 bytes, little endian) || payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/params.hpp"
+#include "gf2/coding.hpp"
+#include "gf2/solver.hpp"
+#include "radio/knowledge.hpp"
+#include "radio/node.hpp"
+
+namespace radiocast::core {
+
+/// Serializes a packet into its coding wire image (id || payload).
+gf2::Payload packet_wire_image(const radio::Packet& packet);
+/// Parses a wire image back into a packet.
+radio::Packet packet_from_wire_image(const gf2::Payload& wire);
+
+class DisseminationState {
+ public:
+  struct Config {
+    ResolvedConfig rc;
+  };
+
+  /// `dist` is the node's BFS distance (nullopt => never joined the tree:
+  /// the node listens and decodes but does not forward).
+  DisseminationState(const Config& cfg, radio::NodeId self, bool is_root,
+                     std::optional<std::uint32_t> dist, Rng* rng);
+
+  /// Root only: install the collected packets (defines the groups). Must be
+  /// called before the first on_transmit.
+  void set_root_packets(std::vector<radio::Packet> packets);
+
+  std::optional<radio::MessageBody> on_transmit(std::uint64_t rel_round);
+  void on_receive(std::uint64_t rel_round, const radio::Message& msg);
+
+  /// True iff this node holds every packet (root: immediately after
+  /// set_root_packets; others: all groups decoded; k = 0: every non-root
+  /// node can never complete — the runner special-cases empty runs).
+  bool complete() const { return complete_; }
+
+  /// All packets this node holds, decoded and sorted by id.
+  std::vector<radio::Packet> packets() const;
+
+  /// Number of groups, if known (0 until the first header arrives).
+  std::uint32_t group_count() const { return group_count_; }
+
+  /// Diagnostics for the FORWARD benches.
+  std::uint64_t rows_received() const { return rows_received_; }
+  std::uint64_t redundant_rows() const { return redundant_rows_; }
+
+ private:
+  struct GroupState {
+    std::uint16_t size = 0;
+    std::optional<gf2::IncrementalDecoder> decoder;
+    /// Decoded packets (cached once the decoder completes).
+    std::vector<radio::Packet> packets;
+    std::optional<gf2::GroupEncoder> encoder;
+    bool complete = false;
+  };
+
+  void ensure_groups(std::uint32_t group_count);
+  GroupState& group(std::uint32_t group_id, std::uint16_t group_size);
+  void maybe_finish_group(GroupState& gs);
+  void refresh_complete();
+
+  Config cfg_;
+  radio::NodeId self_;
+  bool is_root_;
+  std::optional<std::uint32_t> dist_;
+  Rng* rng_;
+
+  std::uint32_t group_count_ = 0;
+  bool group_count_known_ = false;
+  std::vector<GroupState> groups_;
+  bool complete_ = false;
+
+  std::uint64_t rows_received_ = 0;
+  std::uint64_t redundant_rows_ = 0;
+};
+
+}  // namespace radiocast::core

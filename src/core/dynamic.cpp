@@ -1,0 +1,267 @@
+#include "core/dynamic.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "common/math_util.hpp"
+#include "common/stats.hpp"
+
+namespace radiocast::core {
+
+namespace {
+protocols::LeaderElectionState::Config leader_config(const ResolvedConfig& rc) {
+  protocols::LeaderElectionState::Config cfg;
+  cfg.know = rc.know;
+  cfg.probe_epochs = rc.leader_probe_epochs;
+  return cfg;
+}
+}  // namespace
+
+std::uint64_t DynamicConfig::dissemination_window() const {
+  const std::uint64_t groups = ceil_div(resolved_capacity(), rc.group_size);
+  const std::uint64_t phases = rc.group_spacing * groups + rc.know.d_hat + 4;
+  return phases * rc.dissem_phase_rounds;
+}
+
+DynamicBroadcastNode::DynamicBroadcastNode(const DynamicConfig& cfg,
+                                           radio::NodeId self, Rng rng)
+    : cfg_(cfg),
+      self_(self),
+      rng_(rng),
+      leader_(leader_config(cfg.rc), self, /*participant=*/true, &rng_) {
+  bfs_start_ = cfg_.rc.stage1_rounds;
+  setup_end_ = cfg_.rc.stage1_rounds + cfg_.rc.stage2_rounds;
+}
+
+void DynamicBroadcastNode::inject(radio::Packet packet) {
+  delivered_.emplace(packet.id, packet);  // the holder trivially has it
+  pending_.push_back(std::move(packet));
+}
+
+void DynamicBroadcastNode::start_collect(radio::Round round) {
+  phase_ = Phase::kCollect;
+  phase_start_ = round;
+  std::vector<radio::Packet> own;
+  // Carry over anything the previous epoch failed to acknowledge, then the
+  // fresh arrivals.
+  if (collect_.has_value() && !leader_.is_leader()) {
+    own = collect_->unacked_packets();
+  }
+  own.insert(own.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+
+  std::optional<radio::NodeId> parent;
+  const bool is_root = leader_.is_leader();
+  if (!is_root && bfs_.has_value() && bfs_->has_distance()) parent = bfs_->parent();
+  collect_.emplace(CollectionState::Config{cfg_.rc}, self_, is_root, parent,
+                   std::move(own), &rng_);
+}
+
+void DynamicBroadcastNode::start_disseminate(radio::Round round) {
+  // Harvest the finished collection first.
+  RC_ASSERT(collect_.has_value());
+  if (leader_.is_leader()) {
+    for (const radio::Packet& p : collect_->collected()) {
+      if (root_sent_.emplace(p.id, false).second) {
+        root_queue_.push_back(p);
+      }
+      delivered_.emplace(p.id, p);
+    }
+  }
+  phase_ = Phase::kDisseminate;
+  phase_start_ = round;
+  std::optional<std::uint32_t> dist;
+  if (bfs_.has_value() && bfs_->has_distance()) dist = bfs_->distance();
+  dissem_.emplace(DisseminationState::Config{cfg_.rc}, self_, leader_.is_leader(),
+                  dist, &rng_);
+  if (leader_.is_leader()) {
+    std::vector<radio::Packet> batch;
+    const std::uint32_t capacity = cfg_.resolved_capacity();
+    while (!root_queue_.empty() && batch.size() < capacity) {
+      batch.push_back(std::move(root_queue_.front()));
+      root_queue_.pop_front();
+      root_sent_[batch.back().id] = true;
+    }
+    dissem_->set_root_packets(std::move(batch));
+  }
+}
+
+void DynamicBroadcastNode::advance(radio::Round round) {
+  for (bool changed = true; changed;) {
+    changed = false;
+    switch (phase_) {
+      case Phase::kSetup:
+        if (round >= bfs_start_ && !bfs_.has_value()) {
+          leader_.finalize();
+          protocols::BfsBuildState::Config cfg;
+          cfg.know = cfg_.rc.know;
+          cfg.epochs_per_phase = cfg_.rc.bfs_epochs_per_phase;
+          cfg.extra_phases = cfg_.rc.bfs_phases - cfg_.rc.know.d_hat;
+          bfs_.emplace(cfg, self_, leader_.is_leader(), &rng_);
+        }
+        if (round >= setup_end_) {
+          start_collect(setup_end_);
+          changed = true;
+        }
+        break;
+      case Phase::kCollect:
+        if (collect_->finished()) {
+          start_disseminate(phase_start_ + collect_->finished_at());
+          changed = true;
+        }
+        break;
+      case Phase::kDisseminate:
+        if (round >= phase_start_ + cfg_.dissemination_window()) {
+          // Harvest whatever decoded and begin the next epoch.
+          if (dissem_.has_value()) {
+            for (radio::Packet& p : dissem_->packets()) {
+              delivered_.emplace(p.id, std::move(p));
+            }
+          }
+          ++epoch_;
+          start_collect(phase_start_ + cfg_.dissemination_window());
+          changed = true;
+        }
+        break;
+    }
+  }
+}
+
+std::optional<radio::MessageBody> DynamicBroadcastNode::on_transmit(
+    radio::Round round) {
+  advance(round);
+  switch (phase_) {
+    case Phase::kSetup:
+      if (round < bfs_start_) return leader_.on_transmit(round);
+      return bfs_->on_transmit(round - bfs_start_);
+    case Phase::kCollect: {
+      auto msg = collect_->on_transmit(round - phase_start_);
+      advance(round);
+      if (phase_ == Phase::kDisseminate) {
+        return dissem_->on_transmit(round - phase_start_);
+      }
+      return msg;
+    }
+    case Phase::kDisseminate:
+      return dissem_->on_transmit(round - phase_start_);
+  }
+  return std::nullopt;
+}
+
+void DynamicBroadcastNode::on_receive(radio::Round round, const radio::Message& msg) {
+  advance(round);
+  switch (phase_) {
+    case Phase::kSetup:
+      if (round < bfs_start_) {
+        leader_.on_receive(round, msg);
+      } else {
+        bfs_->on_receive(round - bfs_start_, msg);
+      }
+      return;
+    case Phase::kCollect:
+      collect_->on_receive(round - phase_start_, msg);
+      advance(round);
+      if (phase_ == Phase::kDisseminate) {
+        dissem_->on_receive(round - phase_start_, msg);
+      }
+      return;
+    case Phase::kDisseminate:
+      dissem_->on_receive(round - phase_start_, msg);
+      return;
+  }
+}
+
+std::vector<Arrival> make_arrivals(std::uint32_t n, std::uint32_t k,
+                                   std::uint64_t spread_rounds,
+                                   std::uint32_t payload_bytes, Rng& rng) {
+  std::vector<Arrival> arrivals;
+  std::vector<std::uint32_t> seq(n, 0);
+  arrivals.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    Arrival a;
+    a.round = rng.next_below(std::max<std::uint64_t>(1, spread_rounds));
+    a.node = static_cast<radio::NodeId>(rng.next_below(n));
+    a.packet.id = radio::make_packet_id(a.node, seq[a.node]++);
+    a.packet.payload.resize(payload_bytes);
+    for (auto& b : a.packet.payload) b = static_cast<std::uint8_t>(rng() & 0xff);
+    arrivals.push_back(std::move(a));
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& x, const Arrival& y) { return x.round < y.round; });
+  return arrivals;
+}
+
+DynamicRunResult run_dynamic_broadcast(const graph::Graph& g,
+                                       const DynamicConfig& cfg,
+                                       std::vector<Arrival> arrivals,
+                                       std::uint64_t horizon, std::uint64_t seed) {
+  RC_ASSERT(g.finalized());
+  DynamicRunResult result;
+  result.n = g.num_nodes();
+  result.k = static_cast<std::uint32_t>(arrivals.size());
+  result.horizon = horizon;
+
+  radio::Network net(g);
+  Rng master(seed);
+  std::vector<DynamicBroadcastNode*> nodes(g.num_nodes());
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto node = std::make_unique<DynamicBroadcastNode>(cfg, v, master.split());
+    nodes[v] = node.get();
+    net.set_protocol(v, std::move(node));
+    net.wake_at_start(v);  // dynamic setting: every node is on from round 0
+  }
+
+  // Per-packet delivery tracking, polled every `check_interval` rounds
+  // (latencies are accurate to that granularity).
+  struct Tracking {
+    radio::Round arrived = 0;
+    bool everywhere = false;
+    radio::Round done_at = 0;
+  };
+  std::unordered_map<radio::PacketId, Tracking> tracking;
+  const std::uint64_t check_interval = 64;
+
+  std::size_t next_arrival = 0;
+  for (std::uint64_t round = 0; round < horizon; ++round) {
+    while (next_arrival < arrivals.size() && arrivals[next_arrival].round <= round) {
+      Arrival& a = arrivals[next_arrival++];
+      tracking[a.packet.id] = {round, false, 0};
+      nodes[a.node]->inject(std::move(a.packet));
+    }
+    net.step();
+    if (round % check_interval == 0 || round + 1 == horizon) {
+      for (auto& [id, track] : tracking) {
+        if (track.everywhere) continue;
+        bool everywhere = true;
+        for (radio::NodeId v = 0; v < g.num_nodes() && everywhere; ++v) {
+          everywhere = nodes[v]->delivered().count(id) != 0;
+        }
+        if (everywhere) {
+          track.everywhere = true;
+          track.done_at = round;
+        }
+      }
+    }
+  }
+
+  SampleSet latencies;
+  for (const auto& [id, track] : tracking) {
+    if (track.everywhere) {
+      ++result.delivered_everywhere;
+      latencies.add(static_cast<double>(track.done_at - track.arrived));
+    }
+  }
+  if (!latencies.empty()) {
+    result.latency_mean = latencies.mean();
+    result.latency_max = latencies.max();
+  }
+  if (result.delivered_everywhere > 0) {
+    result.amortized_rounds_per_packet =
+        static_cast<double>(horizon) / result.delivered_everywhere;
+  }
+  result.counters = net.trace().counters();
+  return result;
+}
+
+}  // namespace radiocast::core

@@ -1,0 +1,151 @@
+#include "core/protocol.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace radiocast::core {
+
+namespace {
+protocols::LeaderElectionState::Config leader_config(const ResolvedConfig& rc) {
+  protocols::LeaderElectionState::Config cfg;
+  cfg.know = rc.know;
+  cfg.probe_epochs = rc.leader_probe_epochs;
+  return cfg;
+}
+}  // namespace
+
+KBroadcastNode::KBroadcastNode(const ResolvedConfig& rc, radio::NodeId self,
+                               std::vector<radio::Packet> own_packets, Rng rng)
+    : rc_(rc),
+      self_(self),
+      own_packets_(std::move(own_packets)),
+      rng_(rng),
+      leader_(leader_config(rc), self, /*participant=*/!own_packets_.empty(), &rng_) {
+  stage2_start_ = rc_.stage1_rounds;
+  stage3_start_ = rc_.stage1_rounds + rc_.stage2_rounds;
+  RC_ASSERT(leader_.total_rounds() == rc_.stage1_rounds);
+}
+
+KBroadcastNode::Stage KBroadcastNode::stage_for(radio::Round round) const {
+  if (round < stage2_start_) return Stage::kLeader;
+  if (round < stage3_start_) return Stage::kBfs;
+  if (stage3_end_ == 0 || round < stage3_end_) return Stage::kCollection;
+  return Stage::kDissemination;
+}
+
+void KBroadcastNode::ensure_stage(radio::Round round) {
+  if (round >= stage2_start_ && !bfs_.has_value()) {
+    leader_.finalize();
+    protocols::BfsBuildState::Config cfg;
+    cfg.know = rc_.know;
+    cfg.epochs_per_phase = rc_.bfs_epochs_per_phase;
+    cfg.extra_phases = rc_.bfs_phases - rc_.know.d_hat;
+    bfs_.emplace(cfg, self_, /*is_root=*/leader_.is_leader(), &rng_);
+  }
+  if (round >= stage3_start_ && !collection_.has_value()) {
+    CollectionState::Config cfg{rc_};
+    std::optional<radio::NodeId> parent;
+    const bool is_root = leader_.is_leader();
+    if (!is_root && bfs_.has_value() && bfs_->has_distance()) {
+      parent = bfs_->parent();
+    }
+    collection_.emplace(cfg, self_, is_root, parent, own_packets_, &rng_);
+  }
+  if (collection_.has_value() && stage3_end_ == 0 && collection_->finished()) {
+    stage3_end_ = stage3_start_ + collection_->finished_at();
+  }
+  if (stage3_end_ != 0 && round >= stage3_end_ && !dissemination_.has_value()) {
+    DisseminationState::Config cfg{rc_};
+    const bool is_root = leader_.is_leader();
+    std::optional<std::uint32_t> dist;
+    if (bfs_.has_value() && bfs_->has_distance()) dist = bfs_->distance();
+    dissemination_.emplace(cfg, self_, is_root, dist, &rng_);
+    if (is_root) {
+      RC_ASSERT(collection_.has_value());
+      dissemination_->set_root_packets(collection_->collected());
+    }
+  }
+}
+
+std::optional<radio::MessageBody> KBroadcastNode::on_transmit(radio::Round round) {
+  ensure_stage(round);
+  switch (stage_for(round)) {
+    case Stage::kLeader:
+      return leader_.on_transmit(round);
+    case Stage::kBfs:
+      return bfs_->on_transmit(round - stage2_start_);
+    case Stage::kCollection: {
+      auto msg = collection_->on_transmit(round - stage3_start_);
+      // Collection may have just flipped to finished at exactly this round;
+      // if so, this round is already Stage 4's round 0.
+      ensure_stage(round);
+      if (stage_for(round) == Stage::kDissemination) {
+        RC_ASSERT(!msg.has_value());
+        return dissemination_->on_transmit(round - stage3_end_);
+      }
+      return msg;
+    }
+    case Stage::kDissemination:
+      return dissemination_->on_transmit(round - stage3_end_);
+  }
+  return std::nullopt;
+}
+
+void KBroadcastNode::on_receive(radio::Round round, const radio::Message& msg) {
+  ensure_stage(round);
+  switch (stage_for(round)) {
+    case Stage::kLeader:
+      leader_.on_receive(round, msg);
+      return;
+    case Stage::kBfs:
+      bfs_->on_receive(round - stage2_start_, msg);
+      return;
+    case Stage::kCollection:
+      collection_->on_receive(round - stage3_start_, msg);
+      ensure_stage(round);
+      // Boundary round: the message kinds of the two stages are disjoint,
+      // so re-offering the message to Stage 4 cannot double-process it.
+      if (stage_for(round) == Stage::kDissemination) {
+        dissemination_->on_receive(round - stage3_end_, msg);
+      }
+      return;
+    case Stage::kDissemination:
+      dissemination_->on_receive(round - stage3_end_, msg);
+      return;
+  }
+}
+
+bool KBroadcastNode::done() const {
+  return dissemination_.has_value() && dissemination_->complete();
+}
+
+bool KBroadcastNode::is_leader() const { return leader_.is_leader(); }
+
+radio::NodeId KBroadcastNode::leader_id() const { return leader_.leader_id(); }
+
+bool KBroadcastNode::has_bfs_distance() const {
+  return bfs_.has_value() && bfs_->has_distance();
+}
+
+std::uint32_t KBroadcastNode::bfs_distance() const {
+  RC_ASSERT(has_bfs_distance());
+  return bfs_->distance();
+}
+
+radio::NodeId KBroadcastNode::bfs_parent() const {
+  RC_ASSERT(has_bfs_distance());
+  return bfs_->parent();
+}
+
+std::vector<radio::Packet> KBroadcastNode::delivered_packets() const {
+  if (dissemination_.has_value()) {
+    if (leader_.is_leader() && collection_.has_value()) {
+      return collection_->collected();
+    }
+    return dissemination_->packets();
+  }
+  return own_packets_;
+}
+
+}  // namespace radiocast::core

@@ -1,0 +1,84 @@
+// The complete multiple-message broadcast protocol — one state machine per
+// node, sequencing the paper's four stages:
+//
+//   Stage 1  [0, L1)              leader election (binary search + alarms)
+//   Stage 2  [L1, L1+L2)          distributed BFS construction
+//   Stage 3  [L12, L12+T3(node))  packet collection (variable length: ends
+//                                 with the first alarm-free phase; all
+//                                 nodes agree on T3 w.h.p.)
+//   Stage 4  [stage-3 end, ...)   coded (or plain) dissemination
+//
+// All stage lengths are functions of the shared Knowledge (and, for Stage
+// 3, of the alarm history), so nodes stay synchronized with no control
+// traffic beyond the protocol's own messages. Nodes woken after round 0
+// infer their position in the schedule from the global round number (the
+// model is synchronous).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/collection.hpp"
+#include "core/dissemination.hpp"
+#include "core/params.hpp"
+#include "protocols/bfs_construction.hpp"
+#include "protocols/leader_election.hpp"
+#include "radio/node.hpp"
+
+namespace radiocast::core {
+
+class KBroadcastNode final : public radio::NodeProtocol {
+ public:
+  KBroadcastNode(const ResolvedConfig& rc, radio::NodeId self,
+                 std::vector<radio::Packet> own_packets, Rng rng);
+
+  std::optional<radio::MessageBody> on_transmit(radio::Round round) override;
+  void on_receive(radio::Round round, const radio::Message& msg) override;
+  bool done() const override;
+
+  // --- Introspection for runners, tests and benches ---
+  bool is_participant() const { return !own_packets_.empty(); }
+  /// Valid after Stage 1 for nodes awake from round 0.
+  bool is_leader() const;
+  radio::NodeId leader_id() const;
+
+  bool has_bfs_distance() const;
+  std::uint32_t bfs_distance() const;
+  radio::NodeId bfs_parent() const;
+
+  const CollectionState* collection() const { return collection_ ? &*collection_ : nullptr; }
+  const DisseminationState* dissemination() const {
+    return dissemination_ ? &*dissemination_ : nullptr;
+  }
+
+  /// Absolute round at which this node's Stage 3 ended (0 if not yet).
+  radio::Round stage3_end() const { return stage3_end_; }
+
+  /// All packets this node holds at the moment of the call.
+  std::vector<radio::Packet> delivered_packets() const;
+
+ private:
+  enum class Stage { kLeader, kBfs, kCollection, kDissemination };
+  Stage stage_for(radio::Round round) const;
+  /// Creates stage state lazily when the schedule crosses a boundary.
+  void ensure_stage(radio::Round round);
+
+  ResolvedConfig rc_;
+  radio::NodeId self_;
+  std::vector<radio::Packet> own_packets_;
+  Rng rng_;
+
+  radio::Round stage2_start_ = 0;
+  radio::Round stage3_start_ = 0;
+  radio::Round stage3_end_ = 0;  // 0 until collection finishes
+
+  protocols::LeaderElectionState leader_;
+  std::optional<protocols::BfsBuildState> bfs_;
+  std::optional<CollectionState> collection_;
+  std::optional<DisseminationState> dissemination_;
+};
+
+}  // namespace radiocast::core

@@ -1,0 +1,82 @@
+#include "core/schedule.hpp"
+
+#include "common/assert.hpp"
+#include "common/math_util.hpp"
+
+namespace radiocast::core {
+
+GatherWindow ospg_window(std::uint64_t y, std::uint32_t d_hat) {
+  RC_ASSERT(y >= 1);
+  GatherWindow w;
+  w.slots = 6 * y;
+  w.copies = 1;
+  w.up_rounds = w.slots + d_hat;
+  w.ack_rounds = 3 * w.up_rounds + d_hat;
+  return w;  // total = 24y + 5·D̂
+}
+
+GatherWindow mspg_window(const ResolvedConfig& rc) {
+  GatherWindow w;
+  const std::uint64_t x = rc.c_log_n * rc.c_log_n;  // c²·log²n
+  w.slots = 6 * x;
+  w.copies = static_cast<std::uint32_t>(rc.c_log_n);
+  w.up_rounds = w.slots + rc.know.d_hat;
+  w.ack_rounds = 3 * w.up_rounds + rc.know.d_hat;
+  return w;
+}
+
+std::vector<GatherWindow> grab_windows(std::uint64_t x, const ResolvedConfig& rc) {
+  std::vector<GatherWindow> windows;
+  // OSPG cascade: x, x/2, ..., floored at c·log n (always at least one).
+  std::uint64_t y = std::max<std::uint64_t>(x, rc.c_log_n);
+  while (true) {
+    windows.push_back(ospg_window(y, rc.know.d_hat));
+    if (y <= rc.c_log_n) break;
+    y = std::max<std::uint64_t>(y / 2, rc.c_log_n);
+  }
+  windows.push_back(mspg_window(rc));
+  std::uint64_t offset = 0;
+  for (GatherWindow& w : windows) {
+    w.start = offset;
+    offset += w.total_rounds();
+  }
+  return windows;
+}
+
+std::uint64_t grab_rounds(std::uint64_t x, const ResolvedConfig& rc) {
+  const auto windows = grab_windows(x, rc);
+  return windows.back().end();
+}
+
+std::uint64_t collection_phase_rounds(std::uint64_t x, const ResolvedConfig& rc) {
+  return grab_rounds(x, rc) + rc.alarm_rounds;
+}
+
+std::uint64_t collection_rounds_bound(std::uint64_t k, const ResolvedConfig& rc) {
+  std::uint64_t total = 0;
+  std::uint64_t x = rc.initial_estimate;
+  // Doubling phases until the estimate covers k, plus one alarm-free phase.
+  while (true) {
+    total += collection_phase_rounds(x, rc);
+    if (x >= k) break;
+    x *= 2;
+  }
+  return total;
+}
+
+std::uint64_t dissemination_rounds_bound(std::uint64_t k, const ResolvedConfig& rc) {
+  const std::uint64_t g = k == 0 ? 0 : ceil_div(k, rc.group_size);
+  const std::uint64_t phases =
+      rc.group_spacing * g + rc.know.d_hat + 4 /*slack for the last layers*/;
+  return phases * rc.dissem_phase_rounds;
+}
+
+std::uint64_t total_rounds_bound(std::uint64_t k, const ResolvedConfig& rc) {
+  // The collection bound already covers the w.h.p. schedule; the factor-2
+  // headroom absorbs rare extra phases (missed acks forcing another
+  // doubling) without letting runaway runs spin forever.
+  return rc.stage1_rounds + rc.stage2_rounds + 2 * collection_rounds_bound(k, rc) +
+         2 * dissemination_rounds_bound(k, rc) + 1000;
+}
+
+}  // namespace radiocast::core

@@ -1,0 +1,63 @@
+// Pure schedule arithmetic for Stages 3 and 4.
+//
+// Every node computes the same window layout from shared knowledge, which
+// is how the protocol stays synchronized without any control traffic
+// beyond the one-bit alarms. Keeping the arithmetic in free functions makes
+// the layout directly unit-testable against the paper's formulas
+// (OSPG(y) = 24y + 5D rounds, GRAB(x) = O(x + D log x + log² n), ...).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace radiocast::core {
+
+/// One sub-window of a grabbing epoch: an OSPG(y) or the final MSPG.
+struct GatherWindow {
+  /// Number of start slots (the paper's 6y).
+  std::uint64_t slots = 0;
+  /// Copies each packet propagates (1 for OSPG, c·log n for MSPG).
+  std::uint32_t copies = 1;
+  /// Rounds of the upstream unicast window: slots + D̂.
+  std::uint64_t up_rounds = 0;
+  /// Rounds of the acknowledgment window: 3·up_rounds + D̂.
+  std::uint64_t ack_rounds = 0;
+  /// Offset of this window from the start of the grabbing epoch.
+  std::uint64_t start = 0;
+
+  std::uint64_t total_rounds() const { return up_rounds + ack_rounds; }
+  std::uint64_t end() const { return start + total_rounds(); }
+};
+
+/// The OSPG(y) window layout: 6y slots, up = 6y + D̂, ack = 3·up + D̂,
+/// total = 24y + 5D̂ (the paper's bound, exactly).
+GatherWindow ospg_window(std::uint64_t y, std::uint32_t d_hat);
+
+/// The MSPG(c²log²n, c·log n) window layout.
+GatherWindow mspg_window(const ResolvedConfig& rc);
+
+/// The full grabbing-epoch layout for estimate x: OSPG(x), OSPG(x/2), ...,
+/// OSPG(c·log n), MSPG(c²log²n, c·log n), with start offsets filled in.
+std::vector<GatherWindow> grab_windows(std::uint64_t x, const ResolvedConfig& rc);
+
+/// Rounds of the grabbing epoch for estimate x.
+std::uint64_t grab_rounds(std::uint64_t x, const ResolvedConfig& rc);
+
+/// Rounds of one collection phase (grabbing epoch + alarm window).
+std::uint64_t collection_phase_rounds(std::uint64_t x, const ResolvedConfig& rc);
+
+/// Upper bound on the total rounds of Stage 3 when the true packet count is
+/// k: phases double the estimate from x₀ until it reaches >= k, plus one
+/// final (alarm-free) phase.
+std::uint64_t collection_rounds_bound(std::uint64_t k, const ResolvedConfig& rc);
+
+/// Upper bound on Stage 4's rounds for k packets: (spacing·g + D̂ + slack)
+/// phases of dissem_phase_rounds.
+std::uint64_t dissemination_rounds_bound(std::uint64_t k, const ResolvedConfig& rc);
+
+/// Generous end-to-end round cap used by runners as a timeout.
+std::uint64_t total_rounds_bound(std::uint64_t k, const ResolvedConfig& rc);
+
+}  // namespace radiocast::core

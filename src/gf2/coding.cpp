@@ -1,0 +1,53 @@
+#include "gf2/coding.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace radiocast::gf2 {
+
+GroupEncoder::GroupEncoder(std::vector<Payload> packets)
+    : packets_(std::move(packets)) {
+  RC_ASSERT(!packets_.empty());
+}
+
+CodedRow GroupEncoder::encode(const BitVec& coeffs) const {
+  RC_ASSERT(coeffs.size() == packets_.size());
+  CodedRow row;
+  row.coeffs = coeffs;
+  for (std::size_t i = 0; i < packets_.size(); ++i) {
+    if (coeffs.get(i)) xor_into(row.payload, packets_[i]);
+  }
+  return row;
+}
+
+CodedRow GroupEncoder::encode_random(Rng& rng) const {
+  return encode(BitVec::random(packets_.size(), rng));
+}
+
+bool decodes_to(std::size_t width, const std::vector<CodedRow>& rows,
+                const std::vector<Payload>& expected) {
+  RC_ASSERT(expected.size() == width);
+  IncrementalDecoder decoder(width);
+  for (const CodedRow& row : rows) decoder.add_row(row);
+  if (!decoder.complete()) return false;
+  for (std::size_t i = 0; i < width; ++i) {
+    // Compare modulo trailing zero padding: XOR arithmetic may have grown
+    // payloads to the group's max size.
+    const Payload& got = decoder.packet(i);
+    const Payload& want = expected[i];
+    const std::size_t common = std::min(got.size(), want.size());
+    for (std::size_t b = 0; b < common; ++b) {
+      if (got[b] != want[b]) return false;
+    }
+    for (std::size_t b = common; b < got.size(); ++b) {
+      if (got[b] != 0) return false;
+    }
+    for (std::size_t b = common; b < want.size(); ++b) {
+      if (want[b] != 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace radiocast::gf2

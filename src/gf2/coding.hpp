@@ -1,0 +1,46 @@
+// Random linear network coding over GF(2) — the encoder side of Stage 4.
+//
+// The paper's FORWARD sub-routine has each transmitting node draw a uniform
+// random subset of the current packet group, XOR the selected packets, and
+// transmit the sum with a ⌈log n⌉-bit header identifying the subset. This
+// module implements that encoding against a decoded group held by the node.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gf2/solver.hpp"
+
+namespace radiocast::gf2 {
+
+/// A fully known packet group (payloads in group order) that a node can
+/// encode from. In the protocol, the root knows the group outright and
+/// relay layers obtain it from their IncrementalDecoder.
+class GroupEncoder {
+ public:
+  explicit GroupEncoder(std::vector<Payload> packets);
+
+  std::size_t width() const { return packets_.size(); }
+  const std::vector<Payload>& group() const { return packets_; }
+
+  /// Encodes the subset given by `coeffs` (bit i selects packet i).
+  CodedRow encode(const BitVec& coeffs) const;
+
+  /// Draws a uniform random subset (each packet independently w.p. 1/2) and
+  /// encodes it — exactly the paper's transmission rule. The all-zero
+  /// subset is permitted (it conveys no information but is what the
+  /// uniform rule produces with probability 2^-w; the decoder simply
+  /// counts it as redundant).
+  CodedRow encode_random(Rng& rng) const;
+
+ private:
+  std::vector<Payload> packets_;
+};
+
+/// Convenience check used by tests: feeds `rows` to a fresh decoder and
+/// reports whether they decode to exactly `expected`.
+bool decodes_to(std::size_t width, const std::vector<CodedRow>& rows,
+                const std::vector<Payload>& expected);
+
+}  // namespace radiocast::gf2

@@ -1,0 +1,99 @@
+#include "gf2/matrix.hpp"
+
+#include <utility>
+
+namespace radiocast::gf2 {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols) : cols_(cols) {
+  rows_.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) rows_.emplace_back(cols);
+}
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m;
+  m.cols_ = cols;
+  m.rows_.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) m.rows_.push_back(BitVec::random(cols, rng));
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, true);
+  return m;
+}
+
+void Matrix::append_row(BitVec row) {
+  if (rows_.empty() && cols_ == 0) {
+    cols_ = row.size();
+  }
+  RC_ASSERT(row.size() == cols_);
+  rows_.push_back(std::move(row));
+}
+
+std::size_t Matrix::rank() const {
+  std::vector<BitVec> work = rows_;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < work.size(); ++col) {
+    // Find a pivot row with a 1 in this column.
+    std::size_t pivot = rank;
+    while (pivot < work.size() && !work[pivot].get(col)) ++pivot;
+    if (pivot == work.size()) continue;
+    std::swap(work[rank], work[pivot]);
+    for (std::size_t r = 0; r < work.size(); ++r) {
+      if (r != rank && work[r].get(col)) work[r] ^= work[rank];
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+BitVec Matrix::multiply(const BitVec& x) const {
+  RC_ASSERT(x.size() == cols_);
+  BitVec out(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out.set(r, rows_[r].dot(x));
+  }
+  return out;
+}
+
+std::optional<BitVec> Matrix::solve(const BitVec& b) const {
+  RC_ASSERT(b.size() == rows_.size());
+  // Augmented elimination: carry the rhs bit alongside each row.
+  std::vector<BitVec> work = rows_;
+  std::vector<bool> rhs(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) rhs[r] = b.get(r);
+
+  std::vector<std::size_t> pivot_col_of_row;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < work.size(); ++col) {
+    std::size_t pivot = rank;
+    while (pivot < work.size() && !work[pivot].get(col)) ++pivot;
+    if (pivot == work.size()) continue;
+    std::swap(work[rank], work[pivot]);
+    const bool tmp = rhs[rank];
+    rhs[rank] = rhs[pivot];
+    rhs[pivot] = tmp;
+    for (std::size_t r = 0; r < work.size(); ++r) {
+      if (r != rank && work[r].get(col)) {
+        work[r] ^= work[rank];
+        rhs[r] = rhs[r] != rhs[rank];
+      }
+    }
+    pivot_col_of_row.push_back(col);
+    ++rank;
+  }
+
+  // Inconsistent iff some zero row has rhs 1.
+  for (std::size_t r = rank; r < work.size(); ++r) {
+    if (work[r].is_zero() && rhs[r]) return std::nullopt;
+  }
+
+  BitVec x(cols_);
+  for (std::size_t r = 0; r < rank; ++r) {
+    if (rhs[r]) x.set(pivot_col_of_row[r], true);
+  }
+  return x;
+}
+
+}  // namespace radiocast::gf2

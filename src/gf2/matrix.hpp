@@ -1,0 +1,71 @@
+// Dense matrices over GF(2), stored as rows of BitVec.
+//
+// Used to validate the paper's Lemma 3 (a random l x w binary matrix has
+// full column rank w.h.p. once l >= 2(w+2) + 8 ln(1/eps)) and as the batch
+// reference implementation against which the incremental decoder in
+// solver.hpp is tested.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gf2/bitvec.hpp"
+
+namespace radiocast::gf2 {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero matrix with `rows` x `cols` entries.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Matrix with iid uniform {0,1} entries.
+  static Matrix random(std::size_t rows, std::size_t cols, Rng& rng);
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return cols_; }
+
+  const BitVec& row(std::size_t r) const {
+    RC_DCHECK(r < rows_.size());
+    return rows_[r];
+  }
+  BitVec& row(std::size_t r) {
+    RC_DCHECK(r < rows_.size());
+    return rows_[r];
+  }
+
+  bool get(std::size_t r, std::size_t c) const { return row(r).get(c); }
+  void set(std::size_t r, std::size_t c, bool v) { row(r).set(c, v); }
+
+  /// Appends a row (must have `cols()` bits; sets the width if empty).
+  void append_row(BitVec row);
+
+  /// Rank by Gaussian elimination on a copy.
+  std::size_t rank() const;
+
+  /// True iff the matrix has full column rank (rank == cols).
+  bool full_column_rank() const { return rank() == cols_; }
+
+  /// Matrix-vector product over GF(2): returns A*x where x has cols() bits
+  /// and the result has rows() bits.
+  BitVec multiply(const BitVec& x) const;
+
+  /// Solves A*x = b over GF(2) for x (b has rows() bits). Returns
+  /// std::nullopt when the system is inconsistent; when the system is
+  /// under-determined an arbitrary solution (free variables = 0) is
+  /// returned.
+  std::optional<BitVec> solve(const BitVec& b) const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<BitVec> rows_;
+};
+
+}  // namespace radiocast::gf2

@@ -1,0 +1,74 @@
+#include "gf2/solver.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace radiocast::gf2 {
+
+void xor_into(Payload& dst, const Payload& src) {
+  if (src.size() > dst.size()) dst.resize(src.size(), 0);
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] ^= src[i];
+}
+
+IncrementalDecoder::IncrementalDecoder(std::size_t width)
+    : width_(width), basis_(width), has_pivot_(width, false) {
+  RC_ASSERT(width > 0);
+}
+
+bool IncrementalDecoder::add_row(CodedRow row) {
+  RC_ASSERT(row.coeffs.size() == width_);
+  ++rows_seen_;
+  // Reduce against existing pivots until the row is zero or introduces a
+  // new pivot.
+  while (true) {
+    const std::size_t lead = row.coeffs.lowest_set_bit();
+    if (lead == width_) {
+      ++redundant_rows_;
+      return false;  // linearly dependent
+    }
+    if (!has_pivot_[lead]) {
+      basis_[lead] = std::move(row);
+      has_pivot_[lead] = true;
+      ++rank_;
+      solved_ = false;
+      return true;
+    }
+    row.coeffs ^= basis_[lead].coeffs;
+    xor_into(row.payload, basis_[lead].payload);
+  }
+}
+
+void IncrementalDecoder::back_substitute() {
+  RC_ASSERT_MSG(complete(), "decoder is not full rank yet");
+  // Eliminate upwards so each basis row becomes a unit vector; the payload
+  // of row c is then exactly packet c.
+  for (std::size_t c = width_; c-- > 0;) {
+    for (std::size_t r = 0; r < c; ++r) {
+      if (basis_[r].coeffs.get(c)) {
+        basis_[r].coeffs ^= basis_[c].coeffs;
+        xor_into(basis_[r].payload, basis_[c].payload);
+      }
+    }
+  }
+  decoded_.clear();
+  decoded_.reserve(width_);
+  for (std::size_t c = 0; c < width_; ++c) {
+    RC_ASSERT(basis_[c].coeffs.popcount() == 1 && basis_[c].coeffs.get(c));
+    decoded_.push_back(basis_[c].payload);
+  }
+  solved_ = true;
+}
+
+const Payload& IncrementalDecoder::packet(std::size_t index) {
+  RC_ASSERT(index < width_);
+  if (!solved_) back_substitute();
+  return decoded_[index];
+}
+
+const std::vector<Payload>& IncrementalDecoder::packets() {
+  if (!solved_) back_substitute();
+  return decoded_;
+}
+
+}  // namespace radiocast::gf2

@@ -1,0 +1,85 @@
+// Incremental Gaussian decoder over GF(2).
+//
+// Stage 4 of the paper has every receiver accumulate random XOR
+// combinations of a group of w = ⌈log n⌉ packets until the coefficient
+// matrix reaches full rank (Lemma 3 guarantees this after O(log n)
+// receptions w.h.p.), then solve for the original packets. The decoder here
+// performs that elimination online: every received row is reduced against
+// the current basis in O(w) vector operations, so rank is always known and
+// decoding finishes the moment the last pivot appears.
+//
+// Payloads ride along with the coefficient vectors: XORing two rows XORs
+// both their coefficients and their payload bytes, which is exactly the
+// field addition the paper uses (packets as elements of GF(2^b)).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gf2/bitvec.hpp"
+
+namespace radiocast::gf2 {
+
+/// Raw packet payload bytes.
+using Payload = std::vector<std::uint8_t>;
+
+/// XOR-accumulates `src` into `dst`. If `src` is longer than `dst`, `dst`
+/// is zero-extended first (packets in one group may differ in size; XOR in
+/// GF(2^b) pads with zeros).
+void xor_into(Payload& dst, const Payload& src);
+
+/// One received coded message: payload = XOR of the group's packets
+/// selected by `coeffs`.
+struct CodedRow {
+  BitVec coeffs;
+  Payload payload;
+};
+
+class IncrementalDecoder {
+ public:
+  /// Decoder for a group of `width` packets.
+  explicit IncrementalDecoder(std::size_t width);
+
+  std::size_t width() const { return width_; }
+
+  /// Current rank of the received coefficient matrix.
+  std::size_t rank() const { return rank_; }
+
+  /// True once every packet of the group is recoverable.
+  bool complete() const { return rank_ == width_; }
+
+  /// Number of rows offered via add_row (including redundant ones).
+  std::size_t rows_seen() const { return rows_seen_; }
+
+  /// Number of rows that were linearly dependent on earlier rows.
+  std::size_t redundant_rows() const { return redundant_rows_; }
+
+  /// Feeds one coded message into the decoder. Returns true if the row
+  /// increased the rank (was innovative).
+  bool add_row(CodedRow row);
+
+  /// Recovers packet `index` of the group. Must only be called when
+  /// `complete()`; the first call performs back-substitution, subsequent
+  /// calls are O(1) lookups.
+  const Payload& packet(std::size_t index);
+
+  /// Recovers all packets (requires `complete()`).
+  const std::vector<Payload>& packets();
+
+ private:
+  void back_substitute();
+
+  std::size_t width_;
+  std::size_t rank_ = 0;
+  std::size_t rows_seen_ = 0;
+  std::size_t redundant_rows_ = 0;
+  bool solved_ = false;
+  /// basis_[c] holds the row whose lowest set coefficient is column c
+  /// (or an empty coeff vector if that pivot has not been seen yet).
+  std::vector<CodedRow> basis_;
+  std::vector<bool> has_pivot_;
+  std::vector<Payload> decoded_;
+};
+
+}  // namespace radiocast::gf2

@@ -1,0 +1,58 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace radiocast::graph {
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  RC_ASSERT_MSG(!finalized_, "add_edge after finalize()");
+  RC_ASSERT(u < num_nodes() && v < num_nodes());
+  RC_ASSERT_MSG(u != v, "self-loops are not allowed in a radio network graph");
+  // Reject duplicates (linear scan is fine at build time; generators never
+  // produce heavy duplication).
+  const auto& list = adjacency_[u];
+  if (std::find(list.begin(), list.end(), v) != list.end()) return;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++num_edges_;
+}
+
+void Graph::finalize() {
+  for (auto& list : adjacency_) std::sort(list.begin(), list.end());
+  finalized_ = true;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& list : adjacency_) best = std::max(best, list.size());
+  return best;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  RC_ASSERT_MSG(finalized_, "has_edge requires finalize()");
+  RC_ASSERT(u < num_nodes() && v < num_nodes());
+  const auto& list = adjacency_[u];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  RC_ASSERT_MSG(finalized_, "edges() requires finalize()");
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(num_edges_);
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : adjacency_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::string Graph::summary() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "n=%u m=%zu maxdeg=%zu", num_nodes(), num_edges_,
+                max_degree());
+  return buf;
+}
+
+}  // namespace radiocast::graph

@@ -1,0 +1,66 @@
+// Undirected simple graphs — the reachability topology of a radio network.
+//
+// The simulator only needs adjacency iteration and degree queries, so the
+// representation is a plain sorted adjacency list with O(log deg) edge
+// queries. Construction goes through an edge-insertion builder phase; after
+// `finalize()` the structure is immutable, which is what the round loop
+// relies on for safe concurrent-free reads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace radiocast::graph {
+
+using NodeId = std::uint32_t;
+
+class Graph {
+ public:
+  Graph() = default;
+  /// Creates a graph with `n` isolated vertices (ids 0..n-1).
+  explicit Graph(NodeId n) : adjacency_(n) {}
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adjacency_.size()); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds the undirected edge {u, v}. Self-loops are rejected; duplicate
+  /// edges are ignored. Only valid before finalize().
+  void add_edge(NodeId u, NodeId v);
+
+  /// Sorts adjacency lists and freezes the graph.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  std::span<const NodeId> neighbors(NodeId u) const {
+    RC_DCHECK(u < num_nodes());
+    return adjacency_[u];
+  }
+
+  std::size_t degree(NodeId u) const {
+    RC_DCHECK(u < num_nodes());
+    return adjacency_[u].size();
+  }
+
+  /// Maximum degree Δ (0 for an empty or edgeless graph).
+  std::size_t max_degree() const;
+
+  /// True iff the undirected edge {u, v} exists. Requires finalize().
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// All edges as (u, v) with u < v. Requires finalize().
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// Human-readable summary ("n=32 m=64 maxdeg=5").
+  std::string summary() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t num_edges_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace radiocast::graph

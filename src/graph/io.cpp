@@ -1,0 +1,91 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace radiocast::graph {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  RC_ASSERT(g.finalized());
+  out << "# radiocast edge list: " << g.summary() << "\n";
+  out << "n " << g.num_nodes() << "\n";
+  for (const auto& [u, v] : g.edges()) {
+    out << "e " << u << ' ' << v << "\n";
+  }
+}
+
+namespace {
+std::optional<Graph> fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return std::nullopt;
+}
+}  // namespace
+
+std::optional<Graph> read_edge_list(std::istream& in, std::string* error) {
+  std::optional<Graph> graph;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and surrounding whitespace.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;  // blank line
+
+    const std::string where = " (line " + std::to_string(line_no) + ")";
+    if (directive == "n") {
+      if (graph.has_value()) return fail(error, "duplicate 'n' header" + where);
+      long long n = -1;
+      if (!(ls >> n) || n < 0 || n > 0xffffffffLL) {
+        return fail(error, "bad node count" + where);
+      }
+      graph.emplace(static_cast<NodeId>(n));
+    } else if (directive == "e") {
+      if (!graph.has_value()) return fail(error, "'e' before 'n' header" + where);
+      long long u = -1, v = -1;
+      if (!(ls >> u >> v)) return fail(error, "bad edge line" + where);
+      if (u < 0 || v < 0 || u >= graph->num_nodes() || v >= graph->num_nodes()) {
+        return fail(error, "edge endpoint out of range" + where);
+      }
+      if (u == v) return fail(error, "self-loop" + where);
+      graph->add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    } else {
+      return fail(error, "unknown directive '" + directive + "'" + where);
+    }
+  }
+  if (!graph.has_value()) return fail(error, "missing 'n' header");
+  graph->finalize();
+  return graph;
+}
+
+std::string to_edge_list_string(const Graph& g) {
+  std::ostringstream out;
+  write_edge_list(out, g);
+  return out.str();
+}
+
+std::optional<Graph> from_edge_list_string(const std::string& text,
+                                           std::string* error) {
+  std::istringstream in(text);
+  return read_edge_list(in, error);
+}
+
+void write_dot(std::ostream& out, const Graph& g, const std::string& name) {
+  RC_ASSERT(g.finalized());
+  out << "graph " << name << " {\n";
+  out << "  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) == 0) out << "  " << v << ";\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    out << "  " << u << " -- " << v << ";\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace radiocast::graph

@@ -1,0 +1,36 @@
+// Graph serialization: a line-based edge-list format (round-trippable) and
+// Graphviz DOT export (visualization). Lets downstream users run the
+// protocols on their own topologies and inspect the generator output.
+//
+// Edge-list format:
+//   # comment lines and blank lines are ignored
+//   n <num_nodes>
+//   e <u> <v>          (one per edge, 0-based ids)
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace radiocast::graph {
+
+/// Writes the edge-list representation of a finalized graph.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Parses an edge-list. Returns std::nullopt (with a message in `error` if
+/// provided) on malformed input: missing/duplicate header, ids out of
+/// range, self-loops, or unknown directives.
+std::optional<Graph> read_edge_list(std::istream& in, std::string* error = nullptr);
+
+/// Serializes to a string / parses from a string (convenience for tests
+/// and tools).
+std::string to_edge_list_string(const Graph& g);
+std::optional<Graph> from_edge_list_string(const std::string& text,
+                                           std::string* error = nullptr);
+
+/// Writes Graphviz DOT (undirected). `name` is the graph name in the file.
+void write_dot(std::ostream& out, const Graph& g, const std::string& name = "radio");
+
+}  // namespace radiocast::graph

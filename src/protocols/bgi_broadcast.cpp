@@ -1,0 +1,49 @@
+#include "protocols/bgi_broadcast.hpp"
+
+namespace radiocast::protocols {
+
+std::uint32_t bgi_default_epochs(const radio::Knowledge& know,
+                                 std::uint32_t progress_factor,
+                                 std::uint32_t whp_factor) {
+  return progress_factor * know.d_hat + whp_factor * know.log_n();
+}
+
+void BgiFlood::reset(std::optional<radio::MessageBody> initial) {
+  message_ = std::move(initial);
+  received_ = false;
+}
+
+std::optional<radio::MessageBody> BgiFlood::on_transmit(std::uint64_t rel_round) {
+  if (!message_.has_value()) return std::nullopt;
+  if (!decay_.decide(rel_round, *rng_)) return std::nullopt;
+  return *message_;
+}
+
+void BgiFlood::on_receive(const radio::MessageBody& body) {
+  if (!message_.has_value()) {
+    message_ = body;
+    received_ = true;
+  }
+}
+
+BgiBroadcastNode::BgiBroadcastNode(const Config& cfg, bool is_source,
+                                   std::optional<radio::MessageBody> body, Rng rng)
+    : rng_(rng), flood_(cfg.know.log_delta(), &rng_), start_round_(cfg.start_round) {
+  const std::uint32_t epochs = cfg.epochs != 0 ? cfg.epochs : bgi_default_epochs(cfg.know);
+  end_round_ = start_round_ + static_cast<radio::Round>(epochs) * cfg.know.log_delta();
+  flood_.reset(is_source ? std::move(body) : std::nullopt);
+}
+
+std::optional<radio::MessageBody> BgiBroadcastNode::on_transmit(radio::Round round) {
+  if (round < start_round_ || round >= end_round_) return std::nullopt;
+  return flood_.on_transmit(round - start_round_);
+}
+
+void BgiBroadcastNode::on_receive(radio::Round round, const radio::Message& msg) {
+  if (round < start_round_ || round >= end_round_) return;
+  flood_.on_receive(msg.body);
+}
+
+bool BgiBroadcastNode::done() const { return flood_.has_message(); }
+
+}  // namespace radiocast::protocols

@@ -1,0 +1,100 @@
+// BGI randomized broadcast (Bar-Yehuda, Goldreich, Itai 1992).
+//
+// A message held by one or more sources is flooded through the network:
+// every node that knows the message participates in synchronized Decay
+// epochs; every node that receives it joins. With
+// Θ(D + log n) epochs (each ⌈logΔ⌉ rounds) all nodes receive the message
+// w.h.p. — the paper uses this as
+//   * the ALARM sub-routine of Stage 3 (multi-source, one-bit message),
+//   * the probe primitive of leader election (emulated collision
+//     detection: "did anyone signal?"),
+//   * the per-packet baseline broadcast we compare against.
+//
+// BgiFlood is the embeddable component (relative-round driven, no
+// NodeProtocol inheritance) reused by the composite k-broadcast protocol;
+// BgiBroadcastNode wraps it as a standalone NodeProtocol for tests and the
+// single-message benches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "protocols/decay.hpp"
+#include "radio/knowledge.hpp"
+#include "radio/node.hpp"
+
+namespace radiocast::protocols {
+
+/// Default number of Decay epochs for a BGI flood window so that the
+/// message crosses d_hat hops and the per-node failure probability is
+/// polynomially small: epochs = progress_factor * d_hat + whp_factor * log n.
+std::uint32_t bgi_default_epochs(const radio::Knowledge& know,
+                                 std::uint32_t progress_factor = 4,
+                                 std::uint32_t whp_factor = 12);
+
+/// Embeddable multi-source flood state. The owner drives it with rounds
+/// relative to the flood window start; all participants must share that
+/// origin so Decay epochs stay aligned.
+class BgiFlood {
+ public:
+  BgiFlood(std::uint32_t decay_epoch_length, Rng* rng)
+      : decay_(decay_epoch_length), rng_(rng) {
+    RC_ASSERT(rng != nullptr);
+  }
+
+  /// (Re)arms the flood: sources pass the message; others pass nullopt.
+  void reset(std::optional<radio::MessageBody> initial);
+
+  /// Transmit decision at `rel_round` (relative to window start).
+  std::optional<radio::MessageBody> on_transmit(std::uint64_t rel_round);
+
+  /// Feeds a received flood message (the owner filters message kinds).
+  void on_receive(const radio::MessageBody& body);
+
+  /// True iff this node holds the message (source or received).
+  bool has_message() const { return message_.has_value(); }
+
+  /// True iff the message arrived by radio (excludes being a source).
+  bool received() const { return received_; }
+
+  const radio::MessageBody* message() const {
+    return message_.has_value() ? &*message_ : nullptr;
+  }
+
+ private:
+  Decay decay_;
+  Rng* rng_;
+  std::optional<radio::MessageBody> message_;
+  bool received_ = false;
+};
+
+/// Standalone BGI broadcast protocol: sources flood `body` for
+/// `epochs * epoch_length` rounds starting at round `start_round`.
+class BgiBroadcastNode final : public radio::NodeProtocol {
+ public:
+  struct Config {
+    radio::Knowledge know;
+    std::uint32_t epochs = 0;  ///< 0 => bgi_default_epochs(know)
+    radio::Round start_round = 0;
+  };
+
+  BgiBroadcastNode(const Config& cfg, bool is_source,
+                   std::optional<radio::MessageBody> body, Rng rng);
+
+  std::optional<radio::MessageBody> on_transmit(radio::Round round) override;
+  void on_receive(radio::Round round, const radio::Message& msg) override;
+  bool done() const override;
+
+  bool has_message() const { return flood_.has_message(); }
+  const radio::MessageBody* message() const { return flood_.message(); }
+  radio::Round window_end() const { return end_round_; }
+
+ private:
+  Rng rng_;
+  BgiFlood flood_;
+  radio::Round start_round_;
+  radio::Round end_round_;
+};
+
+}  // namespace radiocast::protocols

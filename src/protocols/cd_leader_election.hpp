@@ -1,0 +1,95 @@
+// Leader election with NATIVE collision detection on a single-hop channel
+// — the idealized primitive the paper's Stage 1 emulates.
+//
+// On a single-hop radio channel with collision detection, the classic
+// deterministic binary search elects the maximum id in exactly
+// ⌈log₂ N⌉ rounds: in each probe the candidates in the upper half of the
+// current interval transmit, and every station classifies the round as
+// "signal" (reception OR collision OR own transmission) or "silence".
+//
+// The paper's model has no collision detection and is multi-hop, so Stage
+// 1 emulates each probe with a Θ((D+log n)·logΔ)-round one-bit flood (Fact
+// 1). This protocol exists to *measure* that emulation overhead
+// (bench_cd_ablation): it is only correct on single-hop topologies
+// (complete graphs) with Network::enable_collision_detection(true).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/math_util.hpp"
+#include "radio/knowledge.hpp"
+#include "radio/node.hpp"
+
+namespace radiocast::protocols {
+
+class CdLeaderElectionNode final : public radio::NodeProtocol {
+ public:
+  CdLeaderElectionNode(const radio::Knowledge& know, radio::NodeId self,
+                       bool participant)
+      : self_(self), participant_(participant) {
+    const std::uint64_t space = next_pow2(know.n_hat);
+    probes_ = std::max<std::uint32_t>(1, ceil_log2(space));
+    hi_ = space;
+  }
+
+  std::optional<radio::MessageBody> on_transmit(radio::Round round) override {
+    finish_probe(round);  // fold in the previous round's channel outcome
+    if (finished()) return std::nullopt;
+    probe_round_ = round;
+    const std::uint64_t mid = (lo_ + hi_) / 2;
+    transmitted_ = participant_ && self_ >= mid;
+    heard_ = false;
+    armed_probe_ = true;
+    if (transmitted_) return radio::MessageBody{radio::AlarmMsg{}};
+    return std::nullopt;
+  }
+
+  void on_receive(radio::Round round, const radio::Message&) override {
+    if (armed_probe_ && round == probe_round_) heard_ = true;
+  }
+
+  void on_collision(radio::Round round) override {
+    // Collision = at least two candidates — still a "signal".
+    if (armed_probe_ && round == probe_round_) heard_ = true;
+  }
+
+  bool done() const override { return finished(); }
+  bool finished() const { return current_probe_ >= probes_; }
+
+  /// Total rounds the election needs.
+  std::uint32_t total_rounds() const { return probes_; }
+
+  /// Valid once finished (all nodes on the single-hop channel agree).
+  radio::NodeId leader_id() const { return static_cast<radio::NodeId>(lo_); }
+  bool is_leader() const { return participant_ && finished() && leader_id() == self_; }
+
+  /// Folds in the final probe once the schedule has moved past it.
+  void finalize(radio::Round now) { finish_probe(now); }
+
+ private:
+  void finish_probe(radio::Round round) {
+    if (!armed_probe_ || round <= probe_round_ || finished()) return;
+    armed_probe_ = false;
+    const std::uint64_t mid = (lo_ + hi_) / 2;
+    if (transmitted_ || heard_) {
+      lo_ = mid;
+    } else {
+      hi_ = mid;
+    }
+    ++current_probe_;
+  }
+
+  radio::NodeId self_;
+  bool participant_;
+  std::uint32_t probes_ = 1;
+  std::uint32_t current_probe_ = 0;
+  std::uint64_t lo_ = 0;
+  std::uint64_t hi_ = 2;
+  bool armed_probe_ = false;
+  radio::Round probe_round_ = 0;
+  bool transmitted_ = false;
+  bool heard_ = false;
+};
+
+}  // namespace radiocast::protocols

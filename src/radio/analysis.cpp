@@ -1,0 +1,63 @@
+#include "radio/analysis.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace radiocast::radio {
+
+ActivityTimeline build_timeline(const Trace& trace, std::uint64_t total_rounds,
+                                std::uint64_t bucket_rounds) {
+  RC_ASSERT(bucket_rounds >= 1);
+  ActivityTimeline tl;
+  tl.bucket_rounds = bucket_rounds;
+  const std::size_t buckets =
+      static_cast<std::size_t>((total_rounds + bucket_rounds - 1) / bucket_rounds);
+  tl.deliveries_by_kind.assign(buckets, {});
+  tl.collisions.assign(buckets, 0);
+  tl.deliveries_total.assign(buckets, 0);
+
+  // Map kind tags back to indices once.
+  for (const TraceEvent& event : trace.events()) {
+    const auto bucket = static_cast<std::size_t>(event.round / bucket_rounds);
+    if (bucket >= buckets) continue;
+    switch (event.kind) {
+      case TraceEvent::Kind::kDelivered: {
+        ++tl.deliveries_total[bucket];
+        for (std::size_t k = 0; k < kNumMessageKinds; ++k) {
+          if (message_kind_name(k) == event.message_kind) {
+            ++tl.deliveries_by_kind[bucket][k];
+            break;
+          }
+        }
+        break;
+      }
+      case TraceEvent::Kind::kCollision:
+        ++tl.collisions[bucket];
+        break;
+      case TraceEvent::Kind::kDeaf:
+        break;  // not part of the channel-activity picture
+    }
+  }
+  return tl;
+}
+
+std::string sparkline(const std::vector<std::uint64_t>& counts) {
+  static const char kLevels[] = " .:-=+*#%@";
+  constexpr int kNumLevels = 10;
+  std::uint64_t max = 0;
+  for (std::uint64_t c : counts) max = std::max(max, c);
+  std::string out;
+  out.reserve(counts.size());
+  for (std::uint64_t c : counts) {
+    if (max == 0 || c == 0) {
+      out.push_back(' ');
+      continue;
+    }
+    const int level = 1 + static_cast<int>((c * (kNumLevels - 2)) / max);
+    out.push_back(kLevels[std::min(level, kNumLevels - 1)]);
+  }
+  return out;
+}
+
+}  // namespace radiocast::radio

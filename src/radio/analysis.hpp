@@ -1,0 +1,38 @@
+// Post-hoc trace analysis helpers: bucketed activity timelines over a
+// simulation's event log. Used by the stage_timeline example and by tests
+// that assert activity patterns (e.g. "the channel goes quiet between an
+// OSPG's up window and its ack window").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "radio/trace.hpp"
+
+namespace radiocast::radio {
+
+/// Per-bucket activity counts over [0, rounds), bucketed into fixed-width
+/// windows.
+struct ActivityTimeline {
+  std::uint64_t bucket_rounds = 1;
+  /// deliveries[b] = successful receptions in bucket b; one vector per
+  /// message kind plus aggregate collisions.
+  std::vector<std::array<std::uint64_t, kNumMessageKinds>> deliveries_by_kind;
+  std::vector<std::uint64_t> collisions;
+  std::vector<std::uint64_t> deliveries_total;
+
+  std::size_t num_buckets() const { return deliveries_total.size(); }
+};
+
+/// Builds a timeline from a trace's event log (events must be enabled on
+/// the trace before the run). `bucket_rounds` >= 1.
+ActivityTimeline build_timeline(const Trace& trace, std::uint64_t total_rounds,
+                                std::uint64_t bucket_rounds);
+
+/// Renders one row of a timeline as an ASCII sparkline: each bucket maps
+/// to ' .:-=+*#%@' by its count relative to the row maximum.
+std::string sparkline(const std::vector<std::uint64_t>& counts);
+
+}  // namespace radiocast::radio

@@ -1,0 +1,59 @@
+// What every node knows about the network — the paper's ad-hoc assumption.
+//
+// Nodes know only their own ID plus estimates (n̂, Δ̂, D̂): polynomial upper
+// bounds on n and Δ and a linear upper bound on D. Every protocol schedule
+// in the library is computed from a Knowledge value, never from the true
+// topology, so over-estimation experiments (robustness of the bounds) are a
+// matter of passing padded values.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/math_util.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+
+namespace radiocast::radio {
+
+struct Knowledge {
+  std::uint32_t n_hat = 2;      ///< upper bound on the number of nodes
+  std::uint32_t delta_hat = 1;  ///< upper bound on the maximum degree
+  std::uint32_t d_hat = 1;      ///< upper bound on the diameter
+
+  /// ⌈log n̂⌉, at least 1 (group sizes / header widths must be positive).
+  std::uint32_t log_n() const { return log2_at_least_one(n_hat); }
+  /// ⌈log Δ̂⌉, at least 1 (a Decay epoch has at least one round).
+  std::uint32_t log_delta() const { return log2_at_least_one(std::max(2u, delta_hat)); }
+
+  /// Exact parameters of a connected finalized graph.
+  static Knowledge exact(const graph::Graph& g) {
+    Knowledge k;
+    k.n_hat = std::max<std::uint32_t>(2, g.num_nodes());
+    k.delta_hat = std::max<std::uint32_t>(1, static_cast<std::uint32_t>(g.max_degree()));
+    k.d_hat = std::max<std::uint32_t>(1, graph::diameter(g));
+    return k;
+  }
+
+  /// Over-estimated parameters: n̂ and Δ̂ raised to `poly_power` (the paper
+  /// allows any polynomial bound), D̂ scaled by `d_factor` (linear bound).
+  static Knowledge padded(const graph::Graph& g, double poly_power = 2.0,
+                          double d_factor = 2.0) {
+    const Knowledge e = exact(g);
+    Knowledge k;
+    auto pow_clamped = [](std::uint32_t v, double p) {
+      const double x = std::pow(static_cast<double>(v), p);
+      return static_cast<std::uint32_t>(std::min(x, 1.0e9));
+    };
+    k.n_hat = pow_clamped(e.n_hat, poly_power);
+    k.delta_hat = pow_clamped(e.delta_hat, poly_power);
+    k.d_hat = static_cast<std::uint32_t>(
+        std::min(static_cast<double>(e.d_hat) * d_factor + 1.0, 1.0e9));
+    return k;
+  }
+
+  bool operator==(const Knowledge&) const = default;
+};
+
+}  // namespace radiocast::radio

@@ -1,0 +1,49 @@
+#include "radio/message.hpp"
+
+#include "common/assert.hpp"
+
+namespace radiocast::radio {
+
+namespace {
+struct SizeVisitor {
+  std::size_t operator()(const BfsConstructMsg&) const { return 64; }
+  std::size_t operator()(const AlarmMsg&) const { return 1; }
+  std::size_t operator()(const DataMsg& m) const {
+    return 64 /*packet id*/ + 32 /*to*/ + m.packet.payload.size() * 8;
+  }
+  std::size_t operator()(const AckMsg&) const { return 64 + 32; }
+  std::size_t operator()(const PlainPacketMsg& m) const {
+    return 64 + 96 /*group header*/ + m.packet.payload.size() * 8;
+  }
+  std::size_t operator()(const CodedMsg& m) const {
+    return 96 /*group header*/ + m.group_size /*coefficient bitmap*/ +
+           m.payload.size() * 8;
+  }
+};
+
+struct KindVisitor {
+  std::string operator()(const BfsConstructMsg&) const { return "bfs"; }
+  std::string operator()(const AlarmMsg&) const { return "alarm"; }
+  std::string operator()(const DataMsg&) const { return "data"; }
+  std::string operator()(const AckMsg&) const { return "ack"; }
+  std::string operator()(const PlainPacketMsg&) const { return "plain"; }
+  std::string operator()(const CodedMsg&) const { return "coded"; }
+};
+}  // namespace
+
+std::size_t message_size_bits(const MessageBody& body) {
+  return std::visit(SizeVisitor{}, body);
+}
+
+std::string message_kind(const MessageBody& body) {
+  return std::visit(KindVisitor{}, body);
+}
+
+std::string message_kind_name(std::size_t kind_index) {
+  static const char* kNames[kNumMessageKinds] = {"bfs",  "alarm", "data",
+                                                 "ack",  "plain", "coded"};
+  RC_ASSERT(kind_index < kNumMessageKinds);
+  return kNames[kind_index];
+}
+
+}  // namespace radiocast::radio

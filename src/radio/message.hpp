@@ -1,0 +1,114 @@
+// Message taxonomy for the radio-network protocols.
+//
+// The simulator transports opaque Message values; the collision semantics
+// never look inside. The taxonomy covers every protocol in the library:
+// BFS construction messages, one-bit alarms, unicast data + acks (Stage 3),
+// plain packets (root injection / uncoded baselines) and coded packets
+// (Stage 4 network coding).
+//
+// Each message knows its approximate on-air size in bits; the trace
+// accumulates these so benches can report bit-cost as well as round-cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gf2/solver.hpp"
+#include "graph/graph.hpp"
+
+namespace radiocast::radio {
+
+using graph::NodeId;
+using PacketId = std::uint64_t;
+
+/// Packet ids are (origin << 32) | sequence — globally unique without
+/// coordination, as in the paper's assumption that packets carry an ID.
+constexpr PacketId make_packet_id(NodeId origin, std::uint32_t seq) {
+  return (static_cast<PacketId>(origin) << 32) | seq;
+}
+constexpr NodeId packet_origin(PacketId id) { return static_cast<NodeId>(id >> 32); }
+constexpr std::uint32_t packet_seq(PacketId id) {
+  return static_cast<std::uint32_t>(id & 0xffffffffu);
+}
+
+/// An application packet to be broadcast to every node.
+struct Packet {
+  PacketId id = 0;
+  gf2::Payload payload;
+
+  bool operator==(const Packet&) const = default;
+};
+
+/// Stage 2 BFS construction message: "<id> is at distance <dist>".
+struct BfsConstructMsg {
+  NodeId id = 0;
+  std::uint32_t dist = 0;
+};
+
+/// One-bit alarm (ALARM sub-routine, CD-emulation probes).
+struct AlarmMsg {};
+
+/// Stage 3 unicast step: `packet` addressed to BFS parent `to`.
+struct DataMsg {
+  Packet packet;
+  NodeId to = 0;
+};
+
+/// Stage 3 acknowledgment travelling from the root back to the origin.
+struct AckMsg {
+  PacketId packet_id = 0;
+  NodeId to = 0;
+};
+
+/// An uncoded packet transmission carrying dissemination bookkeeping
+/// (root injection rounds, uncoded baselines, sequential BGI).
+struct PlainPacketMsg {
+  Packet packet;
+  std::uint32_t group_id = 0;
+  std::uint32_t group_count = 0;
+  /// Position of this packet inside its group.
+  std::uint16_t index_in_group = 0;
+  std::uint16_t group_size = 0;
+};
+
+/// Stage 4 coded transmission: payload = XOR of the subset of the group
+/// selected by `coeffs` (bit i => packet i of the group). The header fits
+/// the paper's ⌈log n⌉-bit budget plus O(log n) bookkeeping bits.
+struct CodedMsg {
+  std::uint32_t group_id = 0;
+  std::uint32_t group_count = 0;
+  std::uint16_t group_size = 0;
+  std::uint64_t coeffs = 0;
+  gf2::Payload payload;
+};
+
+using MessageBody =
+    std::variant<BfsConstructMsg, AlarmMsg, DataMsg, AckMsg, PlainPacketMsg, CodedMsg>;
+
+struct Message {
+  /// Filled in by the network when the message is delivered.
+  NodeId from = 0;
+  MessageBody body;
+};
+
+/// Approximate on-air size in bits (headers + payload).
+std::size_t message_size_bits(const MessageBody& body);
+
+/// Short human-readable tag ("bfs", "alarm", "data", "ack", "plain",
+/// "coded") for traces and debugging.
+std::string message_kind(const MessageBody& body);
+
+/// Number of message kinds (== std::variant_size_v<MessageBody>).
+inline constexpr std::size_t kNumMessageKinds = std::variant_size_v<MessageBody>;
+
+/// Stable index of a message's kind (its variant alternative).
+inline std::size_t message_kind_index(const MessageBody& body) {
+  return body.index();
+}
+
+/// Name for a kind index (same tags as message_kind).
+std::string message_kind_name(std::size_t kind_index);
+
+}  // namespace radiocast::radio

@@ -1,0 +1,165 @@
+#include "radio/network.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace radiocast::radio {
+
+Network::Network(const graph::Graph& graph)
+    : graph_(graph),
+      protocols_(graph.num_nodes()),
+      awake_(graph.num_nodes(), false),
+      reach_count_(graph.num_nodes(), 0),
+      reach_source_(graph.num_nodes(), 0) {
+  RC_ASSERT_MSG(graph.finalized(), "Network requires a finalized graph");
+}
+
+void Network::set_protocol(NodeId id, std::unique_ptr<NodeProtocol> protocol) {
+  RC_ASSERT(id < num_nodes());
+  RC_ASSERT(protocol != nullptr);
+  protocols_[id] = std::move(protocol);
+}
+
+NodeProtocol& Network::protocol(NodeId id) {
+  RC_ASSERT(id < num_nodes() && protocols_[id] != nullptr);
+  return *protocols_[id];
+}
+
+const NodeProtocol& Network::protocol(NodeId id) const {
+  RC_ASSERT(id < num_nodes() && protocols_[id] != nullptr);
+  return *protocols_[id];
+}
+
+void Network::wake_at_start(NodeId id) {
+  RC_ASSERT(id < num_nodes());
+  RC_ASSERT_MSG(!started_, "wake_at_start after the simulation started");
+  if (!awake_[id]) {
+    awake_[id] = true;
+    ++num_awake_;
+    pending_initial_wakes_.push_back(id);
+  }
+}
+
+void Network::set_fault_model(const FaultModel& model) {
+  RC_ASSERT_MSG(!started_, "set_fault_model after the simulation started");
+  RC_ASSERT(model.reception_loss_probability >= 0.0 &&
+            model.reception_loss_probability <= 1.0);
+  fault_model_ = model;
+  fault_rng_.reseed(model.seed);
+}
+
+void Network::enable_collision_detection(bool on) {
+  RC_ASSERT_MSG(!started_, "enable_collision_detection after the simulation started");
+  collision_detection_ = on;
+}
+
+void Network::wake(NodeId id) {
+  if (!awake_[id]) {
+    awake_[id] = true;
+    ++num_awake_;
+    ++trace_.counters().wakeups;
+    protocols_[id]->on_wake(round_);
+  }
+}
+
+void Network::step() {
+  if (!started_) {
+    started_ = true;
+    for (NodeId id : pending_initial_wakes_) {
+      ++trace_.counters().wakeups;
+      protocols_[id]->on_wake(round_);
+    }
+    pending_initial_wakes_.clear();
+#ifndef NDEBUG
+    for (NodeId id = 0; id < num_nodes(); ++id) {
+      RC_ASSERT_MSG(protocols_[id] != nullptr, "every node needs a protocol");
+    }
+#endif
+  }
+
+  // Phase 1: collect transmission decisions from awake nodes.
+  transmissions_.clear();
+  if (transmitting_.size() != num_nodes()) transmitting_.assign(num_nodes(), 0);
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    if (!awake_[id]) continue;
+    std::optional<MessageBody> body = protocols_[id]->on_transmit(round_);
+    if (body.has_value()) {
+      transmitting_[id] = 1;
+      trace_.counters().bits_transmitted += message_size_bits(*body);
+      ++trace_.counters().transmissions_by_kind[message_kind_index(*body)];
+      transmissions_.push_back({id, std::move(*body)});
+    }
+  }
+  trace_.counters().transmissions += transmissions_.size();
+
+  // Phase 2: compute, per node, how many transmissions reached it.
+  for (std::uint32_t t = 0; t < transmissions_.size(); ++t) {
+    for (NodeId v : graph_.neighbors(transmissions_[t].from)) {
+      if (reach_count_[v]++ == 0) {
+        reach_source_[v] = t;
+        touched_.push_back(v);
+      }
+    }
+  }
+
+  // Phase 3: deliveries — exactly one reaching message, receiver silent.
+  for (NodeId v : touched_) {
+    const std::uint32_t reached = reach_count_[v];
+    reach_count_[v] = 0;  // reset for the next round
+    if (transmitting_[v]) {
+      ++trace_.counters().deaf_slots;
+      trace_.record({round_, v, TraceEvent::Kind::kDeaf, {}, 0});
+      continue;
+    }
+    if (reached >= 2) {
+      ++trace_.counters().collision_slots;
+      trace_.record({round_, v, TraceEvent::Kind::kCollision, {}, 0});
+      if (collision_detection_) {
+        wake(v);
+        protocols_[v]->on_collision(round_);
+      }
+      continue;
+    }
+    if (fault_model_.reception_loss_probability > 0.0 &&
+        fault_rng_.next_bool(fault_model_.reception_loss_probability)) {
+      // Injected interference: the receiver observes silence.
+      ++trace_.counters().fault_drops;
+      continue;
+    }
+    const Transmission& tx = transmissions_[reach_source_[v]];
+    ++trace_.counters().deliveries;
+    trace_.counters().bits_delivered += message_size_bits(tx.body);
+    ++trace_.counters().deliveries_by_kind[message_kind_index(tx.body)];
+    trace_.record({round_, v, TraceEvent::Kind::kDelivered, message_kind(tx.body),
+                   tx.from});
+    wake(v);
+    Message msg{tx.from, tx.body};
+    protocols_[v]->on_receive(round_, msg);
+  }
+  touched_.clear();
+  for (const Transmission& tx : transmissions_) transmitting_[tx.from] = 0;
+
+  ++round_;
+  ++trace_.counters().rounds;
+}
+
+bool Network::run_until_done(Round max_rounds) {
+  return run_until(max_rounds, [this] {
+    for (NodeId id = 0; id < num_nodes(); ++id) {
+      if (!protocols_[id]->done()) return false;
+    }
+    return true;
+  });
+}
+
+bool Network::run_until(Round max_rounds, const std::function<bool()>& predicate) {
+  if (predicate()) return true;
+  for (Round r = 0; r < max_rounds; ++r) {
+    step();
+    if (predicate()) return true;
+  }
+  return false;
+}
+
+}  // namespace radiocast::radio

@@ -1,0 +1,116 @@
+// The synchronous radio-network simulation engine.
+//
+// Implements exactly the model of the paper: in each round every awake node
+// may transmit one message; a node receives a message iff exactly one of
+// its neighbors transmitted and the node itself did not transmit. There is
+// no collision detection: nodes observe only successful receptions.
+//
+// The engine owns one NodeProtocol per vertex of the topology graph.
+// Protocols for sleeping nodes exist from the start but get no callbacks
+// until woken (round 0 for initially-awake nodes, or on first reception).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "radio/node.hpp"
+#include "radio/trace.hpp"
+
+namespace radiocast::radio {
+
+/// Optional fault injection, beyond the paper's model: models external
+/// interference (jamming, thermal noise) as independent per-reception
+/// erasures. A successful slot (exactly one transmitting neighbor) is
+/// erased with `reception_loss_probability`; the receiver observes silence,
+/// exactly as it would for a collision — there is still no detection.
+struct FaultModel {
+  double reception_loss_probability = 0.0;
+  std::uint64_t seed = 0x5eedf001u;
+};
+
+class Network {
+ public:
+  /// The graph must be finalized and outlive the network.
+  explicit Network(const graph::Graph& graph);
+
+  NodeId num_nodes() const { return graph_.num_nodes(); }
+  const graph::Graph& topology() const { return graph_; }
+
+  /// Installs the protocol for node `id`. Must be called for every node
+  /// before the first step.
+  void set_protocol(NodeId id, std::unique_ptr<NodeProtocol> protocol);
+
+  NodeProtocol& protocol(NodeId id);
+  const NodeProtocol& protocol(NodeId id) const;
+
+  /// Marks a node as awake from the start (on_wake fires at the first
+  /// step, with the then-current round).
+  void wake_at_start(NodeId id);
+
+  /// Installs a fault model (default: no faults). Must be set before the
+  /// first step.
+  void set_fault_model(const FaultModel& model);
+
+  /// Model ablation: when enabled, a listening node whose neighborhood
+  /// carried >= 2 simultaneous transmissions gets an on_collision callback
+  /// (it can now distinguish collision from silence). The paper's model —
+  /// and the library default — is OFF; the flag exists to quantify what
+  /// the collision-detection *emulation* of Stage 1 costs relative to
+  /// hardware CD. Must be set before the first step.
+  void enable_collision_detection(bool on);
+  bool collision_detection() const { return collision_detection_; }
+
+  bool is_awake(NodeId id) const { return awake_[id]; }
+  std::size_t num_awake() const { return num_awake_; }
+
+  Round current_round() const { return round_; }
+
+  /// Executes one synchronous round.
+  void step();
+
+  /// Runs until all protocols report done() or `max_rounds` elapse.
+  /// Returns true iff all nodes were done at exit.
+  bool run_until_done(Round max_rounds);
+
+  /// Runs until `predicate()` is true or `max_rounds` elapse; the
+  /// predicate is evaluated after each round. Returns true iff the
+  /// predicate fired.
+  bool run_until(Round max_rounds, const std::function<bool()>& predicate);
+
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+ private:
+  void wake(NodeId id);
+
+  const graph::Graph& graph_;
+  std::vector<std::unique_ptr<NodeProtocol>> protocols_;
+  std::vector<bool> awake_;
+  std::size_t num_awake_ = 0;
+  /// Nodes flagged awake before the first step; on_wake fires lazily.
+  std::vector<NodeId> pending_initial_wakes_;
+  bool started_ = false;
+  Round round_ = 0;
+  Trace trace_;
+
+  FaultModel fault_model_;
+  Rng fault_rng_;
+  bool collision_detection_ = false;
+
+  // Scratch buffers reused across rounds to avoid per-round allocation.
+  struct Transmission {
+    NodeId from;
+    MessageBody body;
+  };
+  std::vector<Transmission> transmissions_;
+  std::vector<std::uint8_t> transmitting_;
+  std::vector<std::uint32_t> reach_count_;
+  std::vector<std::uint32_t> reach_source_;  // index into transmissions_
+  std::vector<NodeId> touched_;
+};
+
+}  // namespace radiocast::radio

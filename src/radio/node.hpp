@@ -1,0 +1,56 @@
+// Per-node protocol interface.
+//
+// A NodeProtocol is a synchronous state machine driven by the Network: at
+// every round the engine first collects transmission decisions from all
+// awake nodes (on_transmit), then applies the radio collision rule and
+// delivers at most one message per listening node (on_receive).
+//
+// Model contract (matches the paper's Section 1 model):
+//  * a node that transmits in a round hears nothing that round;
+//  * a node receives iff exactly one of its neighbors transmits;
+//  * there is no collision detection — a node cannot distinguish silence
+//    from collision, and the engine never exposes that difference;
+//  * sleeping nodes never transmit but do receive; the first successful
+//    reception wakes them (on_wake fires before on_receive).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "radio/message.hpp"
+
+namespace radiocast::radio {
+
+using Round = std::uint64_t;
+
+class NodeProtocol {
+ public:
+  virtual ~NodeProtocol() = default;
+
+  /// Fired when the node wakes: either at round 0 (initially awake nodes)
+  /// or on first reception. Guaranteed to fire before any other callback.
+  virtual void on_wake(Round /*round*/) {}
+
+  /// Transmission decision for the current round. Called exactly once per
+  /// round for every awake node. Returning a message transmits it to all
+  /// neighbors (subject to collisions at each receiver).
+  virtual std::optional<MessageBody> on_transmit(Round round) = 0;
+
+  /// Delivery of a successfully received message (exactly one transmitting
+  /// neighbor, and this node did not transmit this round).
+  virtual void on_receive(Round round, const Message& msg) = 0;
+
+  /// Fired instead of on_receive when >= 2 neighbors transmitted AND the
+  /// network was built with collision detection enabled (an ablation of
+  /// the paper's model, which explicitly has no such feedback — see
+  /// Network::enable_collision_detection). Never fired in the default
+  /// model.
+  virtual void on_collision(Round /*round*/) {}
+
+  /// Optional completion signal used by runners to stop the simulation
+  /// early once all nodes report done. Must be monotone (once true, stays
+  /// true).
+  virtual bool done() const { return false; }
+};
+
+}  // namespace radiocast::radio

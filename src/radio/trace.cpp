@@ -1,0 +1,14 @@
+#include "radio/trace.hpp"
+
+namespace radiocast::radio {
+
+void Trace::record(TraceEvent event) {
+  if (events_enabled_) events_.push_back(std::move(event));
+}
+
+void Trace::clear() {
+  counters_ = TraceCounters{};
+  events_.clear();
+}
+
+}  // namespace radiocast::radio

@@ -1,0 +1,65 @@
+// Simulation trace: counters and (optionally) per-round event records.
+//
+// Counters are always on (they are what benches report); the event log is
+// opt-in because end-to-end runs span millions of node-rounds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "radio/message.hpp"
+
+namespace radiocast::radio {
+
+struct TraceCounters {
+  std::uint64_t rounds = 0;
+  std::uint64_t transmissions = 0;
+  /// Successful deliveries (node-rounds with exactly one reaching message).
+  std::uint64_t deliveries = 0;
+  /// Node-rounds where >= 2 neighbors transmitted (lost to collision).
+  std::uint64_t collision_slots = 0;
+  /// Node-rounds where a message reached a node that was itself
+  /// transmitting (lost to half-duplex deafness).
+  std::uint64_t deaf_slots = 0;
+  /// Receptions erased by the injected fault model (0 without faults).
+  std::uint64_t fault_drops = 0;
+  /// Total bits put on the air.
+  std::uint64_t bits_transmitted = 0;
+  /// Total bits successfully delivered (summed over receivers).
+  std::uint64_t bits_delivered = 0;
+  std::uint64_t wakeups = 0;
+  /// Per-message-kind breakdowns (indexed by message_kind_index).
+  std::array<std::uint64_t, kNumMessageKinds> transmissions_by_kind{};
+  std::array<std::uint64_t, kNumMessageKinds> deliveries_by_kind{};
+};
+
+/// One delivered-or-lost reception opportunity, recorded only when event
+/// logging is enabled.
+struct TraceEvent {
+  std::uint64_t round = 0;
+  NodeId node = 0;  // the receiver-side node
+  enum class Kind : std::uint8_t { kDelivered, kCollision, kDeaf } kind = Kind::kDelivered;
+  std::string message_kind;  // empty for collisions
+  NodeId from = 0;
+};
+
+class Trace {
+ public:
+  const TraceCounters& counters() const { return counters_; }
+  TraceCounters& counters() { return counters_; }
+
+  void enable_events(bool on) { events_enabled_ = on; }
+  bool events_enabled() const { return events_enabled_; }
+  void record(TraceEvent event);
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear();
+
+ private:
+  TraceCounters counters_;
+  bool events_enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace radiocast::radio

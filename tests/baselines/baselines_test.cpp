@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "baselines/sequential_bgi.hpp"
+#include "baselines/uncoded_pipeline.hpp"
+#include "common/rng.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::baselines {
+namespace {
+
+using core::make_placement;
+using core::Placement;
+using core::PlacementMode;
+using core::RunResult;
+
+TEST(SequentialBgi, DeliversAllPackets) {
+  Rng grng(1);
+  const graph::Graph g = graph::make_gnp_connected(30, 0.15, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  Rng rng(2);
+  const Placement p = make_placement(30, 12, PlacementMode::kRandom, 16, rng);
+  const RunResult r = run_sequential_bgi(g, know, p, 3);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.k, 12u);
+}
+
+TEST(SequentialBgi, ZeroPackets) {
+  const graph::Graph g = graph::make_path(6);
+  const Placement p(6);
+  const RunResult r =
+      run_sequential_bgi(g, radio::Knowledge::exact(g), p, 1);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_EQ(r.total_rounds, 0u);
+}
+
+TEST(SequentialBgi, RoundsGrowLinearlyInK) {
+  Rng grng(4);
+  const graph::Graph g = graph::make_gnp_connected(24, 0.2, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  Rng r1(5), r2(6);
+  const Placement p4 = make_placement(24, 4, PlacementMode::kRandom, 8, r1);
+  const Placement p16 = make_placement(24, 16, PlacementMode::kRandom, 8, r2);
+  const RunResult a = run_sequential_bgi(g, know, p4, 7);
+  const RunResult b = run_sequential_bgi(g, know, p16, 7);
+  ASSERT_TRUE(a.delivered_all);
+  ASSERT_TRUE(b.delivered_all);
+  // 4x the packets => roughly 4x the rounds (window-quantized).
+  const double ratio =
+      static_cast<double>(b.total_rounds) / static_cast<double>(a.total_rounds);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(UncodedPipeline, DeliversAllPackets) {
+  Rng grng(8);
+  const graph::Graph g = graph::make_random_geometric(36, 0.3, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  Rng rng(9);
+  const Placement p = make_placement(36, 20, PlacementMode::kRandom, 16, rng);
+  const RunResult r = run_algo(Algo::kUncodedPipeline, g, know, p, 10);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_TRUE(r.leader_ok);
+}
+
+TEST(Registry, AllAlgosRunAndDeliver) {
+  Rng grng(11);
+  const graph::Graph g = graph::make_gnp_connected(28, 0.18, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  Rng rng(12);
+  const Placement p = make_placement(28, 16, PlacementMode::kRandom, 8, rng);
+  for (const Algo algo : all_algos()) {
+    const RunResult r = run_algo(algo, g, know, p, 13);
+    EXPECT_TRUE(r.delivered_all) << algo_name(algo);
+    EXPECT_FALSE(r.timed_out) << algo_name(algo);
+  }
+}
+
+TEST(Registry, NamesAreDistinct) {
+  EXPECT_NE(algo_name(Algo::kCoded), algo_name(Algo::kUncodedPipeline));
+  EXPECT_NE(algo_name(Algo::kCoded), algo_name(Algo::kSequentialBgi));
+}
+
+TEST(Comparison, CodedWinsAtLargeK) {
+  // The paper's headline at test scale: with k well past the additive
+  // term, the coded protocol beats both baselines.
+  Rng grng(14);
+  const graph::Graph g = graph::make_gnp_connected(32, 0.15, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  Rng rng(15);
+  const Placement p = make_placement(32, 160, PlacementMode::kRandom, 8, rng);
+  const RunResult coded = run_algo(Algo::kCoded, g, know, p, 16);
+  const RunResult uncoded = run_algo(Algo::kUncodedPipeline, g, know, p, 16);
+  const RunResult seq = run_algo(Algo::kSequentialBgi, g, know, p, 16);
+  ASSERT_TRUE(coded.delivered_all);
+  ASSERT_TRUE(uncoded.delivered_all);
+  ASSERT_TRUE(seq.delivered_all);
+  EXPECT_LT(coded.total_rounds, uncoded.total_rounds);
+  EXPECT_LT(coded.total_rounds, seq.total_rounds);
+}
+
+TEST(Comparison, SequentialBgiCompetitiveAtTinyK) {
+  // At k = 1 the pipeline's fixed stages dominate; sequential BGI is just
+  // one flood and must win.
+  Rng grng(17);
+  const graph::Graph g = graph::make_gnp_connected(32, 0.15, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  Rng rng(18);
+  const Placement p = make_placement(32, 1, PlacementMode::kRandom, 8, rng);
+  const RunResult coded = run_algo(Algo::kCoded, g, know, p, 19);
+  const RunResult seq = run_algo(Algo::kSequentialBgi, g, know, p, 19);
+  ASSERT_TRUE(coded.delivered_all);
+  ASSERT_TRUE(seq.delivered_all);
+  EXPECT_LT(seq.total_rounds, coded.total_rounds);
+}
+
+}  // namespace
+}  // namespace radiocast::baselines

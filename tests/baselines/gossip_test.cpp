@@ -1,0 +1,161 @@
+#include "baselines/gossip_flood.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/uncoded_pipeline.hpp"
+#include "common/rng.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::baselines {
+namespace {
+
+using core::make_placement;
+using core::Placement;
+using core::PlacementMode;
+using core::RunResult;
+
+TEST(GossipFlood, DeliversSmallWorkload) {
+  Rng grng(1);
+  const graph::Graph g = graph::make_gnp_connected(24, 0.2, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  Rng rng(2);
+  const Placement p = make_placement(24, 8, PlacementMode::kRandom, 8, rng);
+  const RunResult r = run_gossip_flood(g, know, p, 3);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_FALSE(r.timed_out);
+}
+
+TEST(GossipFlood, DeliversOnDeepPath) {
+  const graph::Graph g = graph::make_path(24);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  Rng rng(4);
+  const Placement p = make_placement(24, 5, PlacementMode::kRandom, 8, rng);
+  const RunResult r = run_gossip_flood(g, know, p, 5);
+  EXPECT_TRUE(r.delivered_all);
+}
+
+TEST(GossipFlood, ZeroPackets) {
+  const graph::Graph g = graph::make_path(6);
+  const RunResult r =
+      run_gossip_flood(g, radio::Knowledge::exact(g), Placement(6), 1);
+  EXPECT_TRUE(r.delivered_all);
+}
+
+TEST(GossipFlood, SingleSourceBurst) {
+  Rng grng(6);
+  const graph::Graph g = graph::make_random_geometric(30, 0.35, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  Rng rng(7);
+  const Placement p = make_placement(30, 20, PlacementMode::kSingleSource, 8, rng);
+  const RunResult r = run_gossip_flood(g, know, p, 8);
+  EXPECT_TRUE(r.delivered_all);
+}
+
+TEST(GossipFlood, InRegistryAndRuns) {
+  Rng grng(9);
+  const graph::Graph g = graph::make_gnp_connected(20, 0.25, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  Rng rng(10);
+  const Placement p = make_placement(20, 10, PlacementMode::kRandom, 8, rng);
+  const RunResult r = run_algo(Algo::kGossipFlood, g, know, p, 11);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_EQ(algo_name(Algo::kGossipFlood), "gossip flood (naive)");
+  EXPECT_EQ(all_algos().size(), 4u);
+}
+
+TEST(GossipFlood, StructuredProtocolWinsAtScale) {
+  // Naive gossip is genuinely competitive at small k (no setup stages to
+  // pay for), but its uniform-choice dilution makes the cost grow ~k·ln k:
+  // past the crossover (~k = 400 at this size) the paper's pipeline wins
+  // despite leader election + BFS. Test both sides of the crossover.
+  Rng grng(12);
+  const graph::Graph g = graph::make_gnp_connected(32, 0.15, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  Rng r_small(13), r_large(13);
+  const Placement small = make_placement(32, 96, PlacementMode::kRandom, 8, r_small);
+  const Placement large = make_placement(32, 1024, PlacementMode::kRandom, 8, r_large);
+
+  const RunResult gossip_small = run_algo(Algo::kGossipFlood, g, know, small, 14);
+  const RunResult coded_small = run_algo(Algo::kCoded, g, know, small, 14);
+  ASSERT_TRUE(gossip_small.delivered_all);
+  ASSERT_TRUE(coded_small.delivered_all);
+  EXPECT_LT(gossip_small.total_rounds, coded_small.total_rounds);
+
+  const RunResult gossip_large = run_algo(Algo::kGossipFlood, g, know, large, 14);
+  const RunResult coded_large = run_algo(Algo::kCoded, g, know, large, 14);
+  ASSERT_TRUE(gossip_large.delivered_all);
+  ASSERT_TRUE(coded_large.delivered_all);
+  EXPECT_LT(coded_large.total_rounds, gossip_large.total_rounds);
+  // Amortized growth vs shrinkage across the sweep.
+  EXPECT_GT(gossip_large.amortized_rounds_per_packet() * 96.0 * 1.2,
+            gossip_small.amortized_rounds_per_packet() * 96.0);
+  EXPECT_LT(coded_large.amortized_rounds_per_packet(),
+            coded_small.amortized_rounds_per_packet());
+}
+
+TEST(GossipFloodNode, OwnPacketsCountAsDelivered) {
+  radio::Knowledge know;
+  know.n_hat = 16;
+  know.delta_hat = 4;
+  know.d_hat = 3;
+  GossipFloodNode::Config cfg;
+  cfg.know = know;
+  cfg.expected_packets = 2;
+  radio::Packet a;
+  a.id = radio::make_packet_id(1, 0);
+  radio::Packet b;
+  b.id = radio::make_packet_id(1, 1);
+  Rng rng(15);
+  GossipFloodNode node(cfg, 1, {a, b}, rng);
+  EXPECT_TRUE(node.done());
+  EXPECT_EQ(node.delivered_packets().size(), 2u);
+}
+
+TEST(GossipFloodNode, LearnsFromPlainPackets) {
+  radio::Knowledge know;
+  know.n_hat = 16;
+  know.delta_hat = 4;
+  know.d_hat = 3;
+  GossipFloodNode::Config cfg;
+  cfg.know = know;
+  cfg.expected_packets = 1;
+  Rng rng(16);
+  GossipFloodNode node(cfg, 0, {}, rng);
+  EXPECT_FALSE(node.done());
+  radio::PlainPacketMsg msg;
+  msg.packet.id = radio::make_packet_id(2, 0);
+  msg.packet.payload = {7};
+  node.on_receive(5, radio::Message{2, msg});
+  EXPECT_TRUE(node.done());
+  EXPECT_EQ(node.known_count(), 1u);
+  // Duplicate receptions do not double-count.
+  node.on_receive(6, radio::Message{2, msg});
+  EXPECT_EQ(node.known_count(), 1u);
+}
+
+TEST(GossipFloodNode, ExpiredPacketsStopTransmitting) {
+  radio::Knowledge know;
+  know.n_hat = 4;
+  know.delta_hat = 2;
+  know.d_hat = 1;
+  GossipFloodNode::Config cfg;
+  cfg.know = know;
+  cfg.age_base_epochs = 2;
+  cfg.age_per_packet_epochs = 0;
+  cfg.expected_packets = 1;
+  radio::Packet a;
+  a.id = radio::make_packet_id(0, 0);
+  Rng rng(17);
+  GossipFloodNode node(cfg, 0, {a}, rng);
+  // Window = 2 epochs * logΔ(=1) = 2 rounds; far beyond it the node must
+  // be silent forever.
+  bool late_transmit = false;
+  for (radio::Round r = 100; r < 400; ++r) {
+    late_transmit |= node.on_transmit(r).has_value();
+  }
+  EXPECT_FALSE(late_transmit);
+}
+
+}  // namespace
+}  // namespace radiocast::baselines

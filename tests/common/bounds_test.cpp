@@ -1,0 +1,104 @@
+// Monte-Carlo validation of the paper's Appendix-A tail bounds: the
+// measured tail probability must not exceed the stated bound (with a
+// small sampling-noise allowance), and the bounds must not be vacuous.
+#include "common/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace radiocast {
+namespace {
+
+TEST(Lemma1, TrialCountFormula) {
+  EXPECT_EQ(lemma1_trials(1.0, 1.0, 0.0), 3u);
+  EXPECT_EQ(lemma1_trials(0.5, 1.0, 0.0), 6u);
+  EXPECT_EQ(lemma1_trials(0.5, 2.0, 3.0), 24u);
+  EXPECT_EQ(lemma1_trials(0.1, 1.0, 1.0), 50u);
+}
+
+class Lemma1MonteCarlo
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(Lemma1MonteCarlo, TailIsBelowBound) {
+  const auto [p, d, tau] = GetParam();
+  const std::uint64_t r = lemma1_trials(p, d, tau);
+  const double bound = lemma1_bound(tau);
+  Rng rng(static_cast<std::uint64_t>(p * 1000 + d * 31 + tau * 7));
+  BernoulliCounter failures;
+  const int experiments = 20000;
+  for (int e = 0; e < experiments; ++e) {
+    std::uint64_t successes = 0;
+    for (std::uint64_t q = 0; q < r && successes < static_cast<std::uint64_t>(d);
+         ++q) {
+      if (rng.next_bool(p)) ++successes;
+    }
+    failures.add(successes < static_cast<std::uint64_t>(d));
+  }
+  // The Wilson lower bound of the measured failure rate must not exceed
+  // the lemma's bound.
+  EXPECT_LE(failures.wilson_lower95(), bound)
+      << "p=" << p << " d=" << d << " tau=" << tau;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Lemma1MonteCarlo,
+    ::testing::Values(std::make_tuple(0.5, 1.0, 1.0), std::make_tuple(0.5, 5.0, 2.0),
+                      std::make_tuple(0.1, 3.0, 1.0), std::make_tuple(0.9, 10.0, 3.0),
+                      std::make_tuple(0.25, 2.0, 0.5)));
+
+TEST(Lemma2, ThresholdFormula) {
+  // Single geometric with p = 1/2: mu = 2, threshold = 4 + 8 ln(1/eps).
+  const double t = lemma2_threshold({0.5}, 0.1);
+  EXPECT_NEAR(t, 4.0 + 8.0 * std::log(10.0), 1e-9);
+}
+
+class Lemma2MonteCarlo : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma2MonteCarlo, TailIsBelowEps) {
+  const double eps = GetParam();
+  // Mixed geometric parameters, as in the Lemma 3 proof's pivot waits.
+  const std::vector<double> ps = {0.5, 0.75, 0.875, 0.9375, 0.96875};
+  const double threshold = lemma2_threshold(ps, eps);
+  Rng rng(static_cast<std::uint64_t>(eps * 1e6));
+  BernoulliCounter exceed;
+  const int experiments = 20000;
+  for (int e = 0; e < experiments; ++e) {
+    double total = 0;
+    for (double p : ps) {
+      // Sample a geometric (number of trials to first success).
+      int x = 1;
+      while (!rng.next_bool(p)) ++x;
+      total += x;
+    }
+    exceed.add(total >= threshold);
+  }
+  EXPECT_LE(exceed.wilson_lower95(), eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, Lemma2MonteCarlo, ::testing::Values(0.5, 0.1, 0.01));
+
+TEST(Lemma2, BoundIsNotVacuous) {
+  // The threshold should be within a small constant factor of the mean for
+  // moderate eps — i.e. the lemma actually constrains the protocol
+  // schedule lengths rather than being astronomically loose.
+  const std::vector<double> ps(10, 0.5);
+  const double mu = 20.0;
+  EXPECT_LT(lemma2_threshold(ps, 0.1), 4.0 * mu);
+}
+
+TEST(Lemma3, RowFormula) {
+  EXPECT_EQ(lemma3_rows(10, std::exp(-1.0)), 32u);  // 2*12 + 8
+  EXPECT_GE(lemma3_rows(8, 0.01), 2u * 10 + 36u);
+}
+
+TEST(Lemma3, MatchesMatrixTestThreshold) {
+  // Consistency with the Monte-Carlo in gf2/matrix_test.cpp.
+  const std::uint64_t l = lemma3_rows(10, 0.05);
+  EXPECT_GE(l, 24u + 23u);
+  EXPECT_LE(l, 24u + 25u);
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,78 @@
+#include "common/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radiocast {
+namespace {
+
+TEST(MathUtil, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(8), 3u);
+  EXPECT_EQ(ceil_log2(9), 4u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+  EXPECT_EQ(ceil_log2(1ULL << 62), 62u);
+}
+
+TEST(MathUtil, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+}
+
+TEST(MathUtil, Log2AtLeastOne) {
+  EXPECT_EQ(log2_at_least_one(1), 1u);
+  EXPECT_EQ(log2_at_least_one(2), 1u);
+  EXPECT_EQ(log2_at_least_one(3), 2u);
+  EXPECT_EQ(log2_at_least_one(256), 8u);
+}
+
+TEST(MathUtil, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+class CeilLog2Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CeilLog2Property, InverseOfPow) {
+  const std::uint64_t x = GetParam();
+  const std::uint32_t l = ceil_log2(x);
+  // 2^(l-1) < x <= 2^l
+  EXPECT_GE(1ULL << l, x);
+  if (l > 0) {
+    EXPECT_LT(1ULL << (l - 1), x);
+  }
+  // next_pow2 agrees.
+  EXPECT_EQ(next_pow2(x), 1ULL << l);
+  // floor and ceil sandwich.
+  EXPECT_LE(floor_log2(x), l);
+  EXPECT_LE(l, floor_log2(x) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CeilLog2Property,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32,
+                                           33, 63, 64, 65, 127, 128, 129, 255, 256,
+                                           1000, 1024, 4095, 4096, 1000000));
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,148 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace radiocast {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; sample variance is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MatchesBatchOnRandomData) {
+  Rng rng(1);
+  RunningStats s;
+  double sum = 0, sum2 = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_double() * 10 - 5;
+    s.add(x);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = (sum2 - n * mean * mean) / (n - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(SampleSet, QuantilesExact) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SampleSet, QuantileInterpolates) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.1), 1.0);
+}
+
+TEST(SampleSet, AddAfterQuantileStillSorted) {
+  SampleSet s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(SampleSet, MeanStddev) {
+  SampleSet s;
+  for (double x : {2.0, 4.0, 6.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(BernoulliCounter, RateAndMonotonicBounds) {
+  BernoulliCounter c;
+  EXPECT_EQ(c.rate(), 0.0);
+  EXPECT_EQ(c.wilson_lower95(), 0.0);
+  EXPECT_EQ(c.wilson_upper95(), 1.0);
+  for (int i = 0; i < 90; ++i) c.add(true);
+  for (int i = 0; i < 10; ++i) c.add(false);
+  EXPECT_DOUBLE_EQ(c.rate(), 0.9);
+  EXPECT_LT(c.wilson_lower95(), 0.9);
+  EXPECT_GT(c.wilson_upper95(), 0.9);
+  EXPECT_GT(c.wilson_lower95(), 0.8);
+  EXPECT_LT(c.wilson_upper95(), 0.97);
+}
+
+TEST(BernoulliCounter, AllSuccesses) {
+  BernoulliCounter c;
+  for (int i = 0; i < 1000; ++i) c.add(true);
+  EXPECT_DOUBLE_EQ(c.rate(), 1.0);
+  EXPECT_GT(c.wilson_lower95(), 0.99);
+  EXPECT_DOUBLE_EQ(c.wilson_upper95(), 1.0);
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineRecoversSlope) {
+  Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double xv = static_cast<double>(i);
+    x.push_back(xv);
+    y.push_back(4.0 + 0.5 * xv + (rng.next_double() - 0.5));
+  }
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 0.5, 0.01);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(LinearFit, DegenerateInput) {
+  EXPECT_EQ(fit_linear({}, {}).slope, 0.0);
+  EXPECT_EQ(fit_linear({1.0}, {2.0}).slope, 0.0);
+  // All-equal x: no slope defined.
+  const LinearFit f = fit_linear({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(f.slope, 0.0);
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,55 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace radiocast {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(std::int64_t{1});
+  t.row().add("b").add(std::int64_t{12345});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 12345 |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|-------|"), std::string::npos);
+}
+
+TEST(Table, DoubleFormatting) {
+  Table t({"x"});
+  t.row().add(3.14159, 2);
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("3.14"), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table t({"a", "b"});
+  t.row().add("only");
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("| only |"), std::string::npos);
+}
+
+TEST(Table, NumRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().add("x");
+  t.row().add("y");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, MetaLineFormat) {
+  std::ostringstream out;
+  print_meta(out, "graph", "gnp n=64");
+  EXPECT_EQ(out.str(), "# graph: gnp n=64\n");
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/dynamic.hpp"
+
+namespace radiocast::core {
+namespace {
+
+TEST(MakeArrivals, CountAndRange) {
+  Rng rng(1);
+  const auto arrivals = make_arrivals(10, 50, 1000, 8, rng);
+  EXPECT_EQ(arrivals.size(), 50u);
+  for (const Arrival& a : arrivals) {
+    EXPECT_LT(a.round, 1000u);
+    EXPECT_LT(a.node, 10u);
+    EXPECT_EQ(a.packet.payload.size(), 8u);
+  }
+}
+
+TEST(MakeArrivals, SortedByRound) {
+  Rng rng(2);
+  const auto arrivals = make_arrivals(6, 80, 5000, 4, rng);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_LE(arrivals[i - 1].round, arrivals[i].round);
+  }
+}
+
+TEST(MakeArrivals, PacketIdsUniqueAndMatchNode) {
+  Rng rng(3);
+  const auto arrivals = make_arrivals(5, 60, 200, 4, rng);
+  std::set<radio::PacketId> ids;
+  for (const Arrival& a : arrivals) {
+    EXPECT_TRUE(ids.insert(a.packet.id).second) << "duplicate id";
+    EXPECT_EQ(radio::packet_origin(a.packet.id), a.node);
+  }
+}
+
+TEST(MakeArrivals, ZeroSpreadAllAtRoundZero) {
+  Rng rng(4);
+  const auto arrivals = make_arrivals(4, 10, 0, 4, rng);
+  for (const Arrival& a : arrivals) EXPECT_EQ(a.round, 0u);
+}
+
+TEST(MakeArrivals, DeterministicGivenRng) {
+  Rng a(5), b(5);
+  const auto x = make_arrivals(8, 30, 100, 4, a);
+  const auto y = make_arrivals(8, 30, 100, 4, b);
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x[i].round, y[i].round);
+    EXPECT_EQ(x[i].node, y[i].node);
+    EXPECT_EQ(x[i].packet.id, y[i].packet.id);
+    EXPECT_EQ(x[i].packet.payload, y[i].packet.payload);
+  }
+}
+
+TEST(DynamicConfig, WindowScalesWithCapacity) {
+  KBroadcastConfig kcfg;
+  kcfg.know.n_hat = 64;
+  kcfg.know.delta_hat = 8;
+  kcfg.know.d_hat = 6;
+  DynamicConfig small;
+  small.rc = resolve(kcfg);
+  small.batch_capacity = 6;  // one group
+  DynamicConfig big = small;
+  big.batch_capacity = 60;  // ten groups
+  EXPECT_LT(small.dissemination_window(), big.dissemination_window());
+  EXPECT_EQ(big.dissemination_window() - small.dissemination_window(),
+            9ull * small.rc.group_spacing * small.rc.dissem_phase_rounds);
+}
+
+TEST(DynamicConfig, DefaultCapacityIsInitialEstimate) {
+  KBroadcastConfig kcfg;
+  kcfg.know.n_hat = 64;
+  kcfg.know.delta_hat = 8;
+  kcfg.know.d_hat = 6;
+  DynamicConfig cfg;
+  cfg.rc = resolve(kcfg);
+  EXPECT_EQ(cfg.resolved_capacity(), cfg.rc.initial_estimate);
+  cfg.batch_capacity = 7;
+  EXPECT_EQ(cfg.resolved_capacity(), 7u);
+}
+
+}  // namespace
+}  // namespace radiocast::core

@@ -1,0 +1,197 @@
+// End-to-end integration tests of the full four-stage protocol, driven
+// exclusively through the public runner API — the same path the examples
+// and benches use.
+#include <gtest/gtest.h>
+
+#include "baselines/uncoded_pipeline.hpp"
+#include "common/rng.hpp"
+#include "core/runner.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::core {
+namespace {
+
+KBroadcastConfig exact_cfg(const graph::Graph& g) {
+  KBroadcastConfig cfg;
+  cfg.know = radio::Knowledge::exact(g);
+  return cfg;
+}
+
+TEST(EndToEnd, ZeroPacketsIsVacuouslyDone) {
+  const graph::Graph g = graph::make_path(8);
+  Rng rng(1);
+  const Placement p = make_placement(8, 0, PlacementMode::kRandom, 16, rng);
+  const RunResult r = run_kbroadcast(g, exact_cfg(g), p, 1);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_EQ(r.total_rounds, 0u);
+  EXPECT_EQ(r.k, 0u);
+}
+
+TEST(EndToEnd, SinglePacketSingleSource) {
+  Rng rng(2);
+  const graph::Graph g = graph::make_path(12);
+  const Placement p = make_placement(12, 1, PlacementMode::kSingleSource, 16, rng);
+  const RunResult r = run_kbroadcast(g, exact_cfg(g), p, 2);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_TRUE(r.leader_ok);
+  EXPECT_TRUE(r.bfs_ok);
+}
+
+TEST(EndToEnd, ModeratePacketsRandomPlacement) {
+  Rng grng(3);
+  const graph::Graph g = graph::make_random_geometric(40, 0.3, grng);
+  Rng rng(4);
+  const Placement p = make_placement(40, 30, PlacementMode::kRandom, 16, rng);
+  const RunResult r = run_kbroadcast(g, exact_cfg(g), p, 5);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_TRUE(r.leader_ok);
+  EXPECT_TRUE(r.bfs_ok);
+  EXPECT_EQ(r.k, 30u);
+  EXPECT_GT(r.stage4_rounds, 0u);
+}
+
+TEST(EndToEnd, StageRoundsSumToTotal) {
+  Rng grng(6);
+  const graph::Graph g = graph::make_gnp_connected(32, 0.15, grng);
+  Rng rng(7);
+  const Placement p = make_placement(32, 20, PlacementMode::kSpreadEven, 16, rng);
+  const RunResult r = run_kbroadcast(g, exact_cfg(g), p, 8);
+  ASSERT_TRUE(r.delivered_all);
+  EXPECT_EQ(r.stage1_rounds + r.stage2_rounds + r.stage3_rounds + r.stage4_rounds,
+            r.total_rounds);
+}
+
+class EndToEndFamilies : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EndToEndFamilies, DeliversEverythingEverywhere) {
+  Rng grng(20);
+  const graph::Graph g = graph::make_named(GetParam(), 36, grng);
+  Rng rng(21);
+  const Placement p =
+      make_placement(g.num_nodes(), 25, PlacementMode::kRandom, 12, rng);
+  const RunResult r = run_kbroadcast(g, exact_cfg(g), p, 22);
+  EXPECT_TRUE(r.delivered_all) << GetParam();
+  EXPECT_TRUE(r.leader_ok) << GetParam();
+  EXPECT_FALSE(r.timed_out) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, EndToEndFamilies,
+                         ::testing::ValuesIn(graph::named_families()));
+
+class EndToEndSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EndToEndSeeds, GeometricGraphIsReliableAcrossSeeds) {
+  Rng grng(GetParam());
+  const graph::Graph g = graph::make_random_geometric(48, 0.28, grng);
+  Rng rng(GetParam() + 1000);
+  const Placement p =
+      make_placement(g.num_nodes(), 40, PlacementMode::kRandom, 16, rng);
+  const RunResult r = run_kbroadcast(g, exact_cfg(g), p, GetParam() + 2000);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_TRUE(r.leader_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndSeeds, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(EndToEnd, DeterministicGivenSeeds) {
+  Rng g1(30), g2(30);
+  const graph::Graph a = graph::make_gnp_connected(24, 0.2, g1);
+  const graph::Graph b = graph::make_gnp_connected(24, 0.2, g2);
+  Rng p1(31), p2(31);
+  const Placement pa = make_placement(24, 15, PlacementMode::kRandom, 8, p1);
+  const Placement pb = make_placement(24, 15, PlacementMode::kRandom, 8, p2);
+  const RunResult ra = run_kbroadcast(a, exact_cfg(a), pa, 32);
+  const RunResult rb = run_kbroadcast(b, exact_cfg(b), pb, 32);
+  EXPECT_EQ(ra.total_rounds, rb.total_rounds);
+  EXPECT_EQ(ra.counters.transmissions, rb.counters.transmissions);
+  EXPECT_EQ(ra.counters.deliveries, rb.counters.deliveries);
+}
+
+TEST(EndToEnd, PaddedKnowledgeStillDelivers) {
+  // The paper only assumes polynomial bounds on n, Δ and a linear bound on
+  // D; over-estimation must cost rounds, not correctness.
+  Rng grng(40);
+  const graph::Graph g = graph::make_random_geometric(30, 0.35, grng);
+  Rng rng(41);
+  const Placement p = make_placement(30, 20, PlacementMode::kRandom, 16, rng);
+  KBroadcastConfig cfg;
+  cfg.know = radio::Knowledge::padded(g, 1.5, 2.0);
+  const RunResult r = run_kbroadcast(g, cfg, p, 42);
+  EXPECT_TRUE(r.delivered_all);
+  // Exact knowledge is cheaper.
+  const RunResult exact = run_kbroadcast(g, exact_cfg(g), p, 42);
+  EXPECT_GT(r.total_rounds, exact.total_rounds);
+}
+
+TEST(EndToEnd, LargeKForcesEstimateDoubling) {
+  // GRAB's final MSPG over-delivers relative to the estimate, so k must be
+  // far past x0 before the first phase leaves packets uncollected.
+  const graph::Graph g = graph::make_star(24);
+  const KBroadcastConfig cfg = exact_cfg(g);
+  const ResolvedConfig rc = resolve(cfg);
+  const auto k = static_cast<std::uint32_t>(rc.initial_estimate * 16);
+  Rng rng(50);
+  const Placement p = make_placement(24, k, PlacementMode::kRandom, 8, rng);
+  const RunResult r = run_kbroadcast(g, cfg, p, 51);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_GE(r.collection_phases, 2u);
+  EXPECT_GE(r.final_estimate, rc.initial_estimate * 2);
+}
+
+TEST(EndToEnd, AmortizedCostShrinksWithK) {
+  // Theorem 2: per-packet cost approaches O(log Δ) as k grows past the
+  // additive term. Compare amortized cost at small vs large k.
+  Rng grng(60);
+  const graph::Graph g = graph::make_gnp_connected(32, 0.15, grng);
+  Rng r1(61), r2(62);
+  const Placement small = make_placement(32, 4, PlacementMode::kRandom, 8, r1);
+  const Placement large = make_placement(32, 256, PlacementMode::kRandom, 8, r2);
+  const RunResult rs = run_kbroadcast(g, exact_cfg(g), small, 63);
+  const RunResult rl = run_kbroadcast(g, exact_cfg(g), large, 64);
+  ASSERT_TRUE(rs.delivered_all);
+  ASSERT_TRUE(rl.delivered_all);
+  EXPECT_LT(rl.amortized_rounds_per_packet(),
+            rs.amortized_rounds_per_packet() / 4.0);
+}
+
+TEST(Placement, ModesPlaceAllPackets) {
+  Rng rng(70);
+  for (const PlacementMode mode :
+       {PlacementMode::kRandom, PlacementMode::kSingleSource,
+        PlacementMode::kSpreadEven}) {
+    const Placement p = make_placement(10, 25, mode, 4, rng);
+    EXPECT_EQ(p.size(), 10u);
+    const auto all = placement_packets(p);
+    EXPECT_EQ(all.size(), 25u);
+    // Ids unique and sorted.
+    for (std::size_t i = 1; i < all.size(); ++i) EXPECT_LT(all[i - 1].id, all[i].id);
+    // Origin encoded in id matches the holder.
+    for (std::uint32_t v = 0; v < 10; ++v) {
+      for (const auto& pkt : p[v]) EXPECT_EQ(radio::packet_origin(pkt.id), v);
+    }
+  }
+}
+
+TEST(Placement, SingleSourcePutsAllInOnePlace) {
+  Rng rng(71);
+  const Placement p = make_placement(12, 9, PlacementMode::kSingleSource, 4, rng);
+  int nonempty = 0;
+  for (const auto& node : p) {
+    if (!node.empty()) {
+      ++nonempty;
+      EXPECT_EQ(node.size(), 9u);
+    }
+  }
+  EXPECT_EQ(nonempty, 1);
+}
+
+TEST(Placement, SpreadEvenBalances) {
+  Rng rng(72);
+  const Placement p = make_placement(8, 16, PlacementMode::kSpreadEven, 4, rng);
+  for (const auto& node : p) EXPECT_EQ(node.size(), 2u);
+}
+
+}  // namespace
+}  // namespace radiocast::core

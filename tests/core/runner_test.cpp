@@ -1,0 +1,151 @@
+// Runner/placement edge cases and parameterized end-to-end grids over
+// (placement mode × k × payload size).
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::core {
+namespace {
+
+KBroadcastConfig exact_cfg(const graph::Graph& g) {
+  KBroadcastConfig cfg;
+  cfg.know = radio::Knowledge::exact(g);
+  return cfg;
+}
+
+TEST(Placement, MorePacketsThanNodes) {
+  Rng rng(1);
+  const Placement p = make_placement(4, 50, PlacementMode::kSpreadEven, 4, rng);
+  const auto all = placement_packets(p);
+  EXPECT_EQ(all.size(), 50u);
+  for (const auto& node : p) {
+    EXPECT_GE(node.size(), 12u);
+    EXPECT_LE(node.size(), 13u);
+  }
+}
+
+TEST(Placement, SequenceNumbersArePerOrigin) {
+  Rng rng(2);
+  const Placement p = make_placement(5, 20, PlacementMode::kRandom, 4, rng);
+  for (std::uint32_t v = 0; v < 5; ++v) {
+    for (std::size_t i = 0; i < p[v].size(); ++i) {
+      EXPECT_EQ(radio::packet_seq(p[v][i].id), i);
+    }
+  }
+}
+
+TEST(Placement, PayloadSizeRespected) {
+  Rng rng(3);
+  for (const std::uint32_t bytes : {0u, 1u, 16u, 100u}) {
+    const Placement p = make_placement(6, 8, PlacementMode::kRandom, bytes, rng);
+    for (const auto& node : p) {
+      for (const auto& pkt : node) EXPECT_EQ(pkt.payload.size(), bytes);
+    }
+  }
+}
+
+TEST(Placement, DeterministicGivenRng) {
+  Rng a(4), b(4);
+  const Placement pa = make_placement(8, 12, PlacementMode::kRandom, 8, a);
+  const Placement pb = make_placement(8, 12, PlacementMode::kRandom, 8, b);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(Runner, SingleNodeNetworkTrivial) {
+  graph::Graph g(1);
+  g.finalize();
+  Rng rng(5);
+  Placement p(1);
+  radio::Packet pkt;
+  pkt.id = radio::make_packet_id(0, 0);
+  pkt.payload = {1};
+  p[0].push_back(pkt);
+  KBroadcastConfig cfg;
+  cfg.know.n_hat = 2;
+  cfg.know.delta_hat = 1;
+  cfg.know.d_hat = 1;
+  const RunResult r = run_kbroadcast(g, cfg, p, 6);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_EQ(r.nodes_complete, 1u);
+}
+
+TEST(Runner, TwoNodeNetwork) {
+  const graph::Graph g = graph::make_path(2);
+  Rng rng(7);
+  const Placement p = make_placement(2, 3, PlacementMode::kRandom, 8, rng);
+  const RunResult r = run_kbroadcast(g, exact_cfg(g), p, 8);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_TRUE(r.leader_ok);
+}
+
+TEST(Runner, ZeroPayloadPacketsStillIdentifiable) {
+  // Payloads of size 0: the coded wire image is just the 8-byte id; every
+  // node must still learn which packets exist.
+  Rng grng(9);
+  const graph::Graph g = graph::make_gnp_connected(16, 0.3, grng);
+  Rng rng(10);
+  const Placement p = make_placement(16, 10, PlacementMode::kRandom, 0, rng);
+  const RunResult r = run_kbroadcast(g, exact_cfg(g), p, 11);
+  EXPECT_TRUE(r.delivered_all);
+}
+
+TEST(Runner, LargePayloads) {
+  Rng grng(12);
+  const graph::Graph g = graph::make_gnp_connected(12, 0.4, grng);
+  Rng rng(13);
+  const Placement p = make_placement(12, 6, PlacementMode::kRandom, 512, rng);
+  const RunResult r = run_kbroadcast(g, exact_cfg(g), p, 14);
+  EXPECT_TRUE(r.delivered_all);
+  // Bit accounting scales with payload size.
+  EXPECT_GT(r.counters.bits_transmitted, 6u * 512u * 8u);
+}
+
+TEST(Runner, MaxRoundsTooSmallReportsTimeout) {
+  Rng grng(15);
+  const graph::Graph g = graph::make_gnp_connected(16, 0.3, grng);
+  Rng rng(16);
+  const Placement p = make_placement(16, 10, PlacementMode::kRandom, 8, rng);
+  const RunResult r = run_kbroadcast(g, exact_cfg(g), p, 17, /*max_rounds=*/50);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(r.delivered_all);
+  EXPECT_EQ(r.total_rounds, 50u);
+}
+
+TEST(Runner, AmortizedHelper) {
+  RunResult r;
+  r.k = 0;
+  r.total_rounds = 100;
+  EXPECT_EQ(r.amortized_rounds_per_packet(), 0.0);
+  r.k = 4;
+  EXPECT_DOUBLE_EQ(r.amortized_rounds_per_packet(), 25.0);
+}
+
+// Grid: every placement mode delivers at several k, including k around the
+// group-size boundary (g = 1 vs g > 1) and k = 1.
+class ModeKGrid
+    : public ::testing::TestWithParam<std::tuple<PlacementMode, std::uint32_t>> {};
+
+TEST_P(ModeKGrid, Delivers) {
+  const auto [mode, k] = GetParam();
+  Rng grng(20);
+  const graph::Graph g = graph::make_random_geometric(28, 0.35, grng);
+  Rng rng(21 + k);
+  const Placement p = make_placement(g.num_nodes(), k, mode, 8, rng);
+  const RunResult r = run_kbroadcast(g, exact_cfg(g), p, 22 + k);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.k, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModeKGrid,
+    ::testing::Combine(::testing::Values(PlacementMode::kRandom,
+                                         PlacementMode::kSingleSource,
+                                         PlacementMode::kSpreadEven),
+                       ::testing::Values<std::uint32_t>(1, 2, 5, 6, 11, 37)));
+
+}  // namespace
+}  // namespace radiocast::core

@@ -1,0 +1,108 @@
+// Parameterized properties of the schedule arithmetic over a grid of
+// Knowledge values: window contiguity, monotonicity in every parameter,
+// and the exact paper formulas — the foundation of zero-communication
+// synchronization.
+#include <gtest/gtest.h>
+
+#include "core/schedule.hpp"
+
+namespace radiocast::core {
+namespace {
+
+struct KnowCase {
+  std::uint32_t n, delta, d;
+};
+
+class ScheduleGrid : public ::testing::TestWithParam<KnowCase> {
+ protected:
+  ResolvedConfig rc() const {
+    KBroadcastConfig cfg;
+    cfg.know.n_hat = GetParam().n;
+    cfg.know.delta_hat = GetParam().delta;
+    cfg.know.d_hat = GetParam().d;
+    return resolve(cfg);
+  }
+};
+
+TEST_P(ScheduleGrid, GrabWindowsAreContiguousAndOrdered) {
+  const ResolvedConfig c = rc();
+  for (const std::uint64_t x :
+       {std::uint64_t{1}, c.initial_estimate, 4 * c.initial_estimate}) {
+    const auto windows = grab_windows(x, c);
+    ASSERT_GE(windows.size(), 2u);
+    std::uint64_t offset = 0;
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      EXPECT_EQ(windows[i].start, offset);
+      EXPECT_GT(windows[i].up_rounds, 0u);
+      EXPECT_EQ(windows[i].ack_rounds, 3 * windows[i].up_rounds + c.know.d_hat);
+      offset = windows[i].end();
+      // OSPG slot counts never increase along the cascade (halving), and
+      // only the final MSPG window has copies > 1.
+      if (i + 2 < windows.size()) {
+        EXPECT_GE(windows[i].slots, windows[i + 1].slots);
+      }
+      EXPECT_EQ(windows[i].copies > 1, i + 1 == windows.size());
+    }
+    EXPECT_EQ(grab_rounds(x, c), offset);
+  }
+}
+
+TEST_P(ScheduleGrid, LengthsMonotoneInEstimate) {
+  const ResolvedConfig c = rc();
+  std::uint64_t prev = 0;
+  for (std::uint64_t x = 1; x < (1ull << 12); x *= 2) {
+    const std::uint64_t len = grab_rounds(x, c);
+    EXPECT_GE(len, prev);
+    prev = len;
+  }
+}
+
+TEST_P(ScheduleGrid, BoundsMonotoneInK) {
+  const ResolvedConfig c = rc();
+  std::uint64_t prev_c = 0, prev_d = 0, prev_t = 0;
+  for (std::uint64_t k = 1; k < (1ull << 14); k *= 4) {
+    const std::uint64_t bc = collection_rounds_bound(k, c);
+    const std::uint64_t bd = dissemination_rounds_bound(k, c);
+    const std::uint64_t bt = total_rounds_bound(k, c);
+    EXPECT_GE(bc, prev_c);
+    EXPECT_GE(bd, prev_d);
+    EXPECT_GE(bt, prev_t);
+    EXPECT_GE(bt, c.stage1_rounds + c.stage2_rounds + bc + bd);
+    prev_c = bc;
+    prev_d = bd;
+    prev_t = bt;
+  }
+}
+
+TEST_P(ScheduleGrid, PaperFormulasExact) {
+  const ResolvedConfig c = rc();
+  // OSPG(y) = 24y + 5D for every y in the cascade.
+  for (const std::uint64_t y : {1ull, 10ull, 1000ull}) {
+    EXPECT_EQ(ospg_window(y, c.know.d_hat).total_rounds(), 24 * y + 5 * c.know.d_hat);
+  }
+  // x0 = (D + log n) * log n.
+  EXPECT_EQ(c.initial_estimate,
+            static_cast<std::uint64_t>(c.know.d_hat + c.log_n) * c.log_n);
+  // Dissemination phase fits a group injection.
+  EXPECT_GE(c.dissem_phase_rounds, c.group_size);
+  // Group size within the coded header's word budget.
+  EXPECT_LE(c.group_size, 64u);
+}
+
+TEST_P(ScheduleGrid, StageOneCoversIdSpace) {
+  const ResolvedConfig c = rc();
+  // 2^probes >= n_hat so the binary search pins any id.
+  EXPECT_GE(1ull << c.leader_probes, c.know.n_hat);
+  EXPECT_LT(1ull << (c.leader_probes - 1), static_cast<std::uint64_t>(
+                                               std::max(2u, c.know.n_hat)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScheduleGrid,
+    ::testing::Values(KnowCase{2, 1, 1}, KnowCase{8, 3, 4}, KnowCase{64, 8, 6},
+                      KnowCase{100, 99, 2}, KnowCase{256, 2, 255},
+                      KnowCase{1000, 30, 40}, KnowCase{4096, 64, 12},
+                      KnowCase{100000, 1000, 100}));
+
+}  // namespace
+}  // namespace radiocast::core

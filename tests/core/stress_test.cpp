@@ -1,0 +1,89 @@
+// Moderate-scale end-to-end runs: larger n and k than the unit grids, to
+// catch scaling bugs (schedule arithmetic overflow, state-machine drift,
+// decoder widths) that small fixtures cannot. Runtime-budgeted to a few
+// seconds total.
+#include <gtest/gtest.h>
+
+#include "baselines/uncoded_pipeline.hpp"
+#include "common/rng.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::core {
+namespace {
+
+TEST(Stress, HundredTwentyEightNodesFiveTwelvePackets) {
+  Rng grng(1);
+  const graph::Graph g = graph::make_random_geometric(128, 0.18, grng);
+  KBroadcastConfig cfg;
+  cfg.know = radio::Knowledge::exact(g);
+  Rng prng(2);
+  const Placement p =
+      make_placement(g.num_nodes(), 512, PlacementMode::kRandom, 16, prng);
+  const RunResult r = run_kbroadcast(g, cfg, p, 3);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_TRUE(r.leader_ok);
+  EXPECT_TRUE(r.bfs_ok);
+  // The amortized cost at this size should already be far below the
+  // small-k fixed-cost regime.
+  EXPECT_LT(r.amortized_rounds_per_packet(), 500.0);
+}
+
+TEST(Stress, DeepPathLargeK) {
+  const graph::Graph g = graph::make_path(96);
+  KBroadcastConfig cfg;
+  cfg.know = radio::Knowledge::exact(g);
+  Rng prng(4);
+  const Placement p =
+      make_placement(g.num_nodes(), 128, PlacementMode::kRandom, 8, prng);
+  const RunResult r = run_kbroadcast(g, cfg, p, 5);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_TRUE(r.leader_ok);
+}
+
+TEST(Stress, HighDegreeStarLargeK) {
+  const graph::Graph g = graph::make_star(128);
+  KBroadcastConfig cfg;
+  cfg.know = radio::Knowledge::exact(g);
+  Rng prng(6);
+  const Placement p =
+      make_placement(g.num_nodes(), 256, PlacementMode::kRandom, 8, prng);
+  const RunResult r = run_kbroadcast(g, cfg, p, 7);
+  EXPECT_TRUE(r.delivered_all);
+}
+
+TEST(Stress, AllNodesSourceOnePacket) {
+  // The all-to-all gossip workload (k = n), the paper's motivating case
+  // for topology learning.
+  Rng grng(8);
+  const graph::Graph g = graph::make_gnp_connected(96, 0.06, grng);
+  KBroadcastConfig cfg;
+  cfg.know = radio::Knowledge::exact(g);
+  Placement p(g.num_nodes());
+  Rng prng(9);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    radio::Packet pkt;
+    pkt.id = radio::make_packet_id(v, 0);
+    pkt.payload.resize(16);
+    for (auto& b : pkt.payload) b = static_cast<std::uint8_t>(prng() & 0xff);
+    p[v].push_back(std::move(pkt));
+  }
+  const RunResult r = run_kbroadcast(g, cfg, p, 10);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_EQ(r.k, g.num_nodes());
+}
+
+TEST(Stress, UncodedBaselineAtScaleStillCorrect) {
+  Rng grng(11);
+  const graph::Graph g = graph::make_random_geometric(96, 0.2, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  Rng prng(12);
+  const Placement p =
+      make_placement(g.num_nodes(), 128, PlacementMode::kRandom, 8, prng);
+  const RunResult r =
+      baselines::run_algo(baselines::Algo::kUncodedPipeline, g, know, p, 13);
+  EXPECT_TRUE(r.delivered_all);
+}
+
+}  // namespace
+}  // namespace radiocast::core

@@ -1,0 +1,130 @@
+// Parameterized property tests over the GF(2) stack: algebra laws at many
+// widths, decoder/batch-solver equivalence, and decode-overhead
+// distributions — the invariants Stage 4 relies on at every group size the
+// protocol can produce.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "gf2/coding.hpp"
+#include "gf2/matrix.hpp"
+#include "gf2/solver.hpp"
+
+namespace radiocast::gf2 {
+namespace {
+
+class WidthProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WidthProperty, VectorSpaceAxioms) {
+  const std::size_t w = GetParam();
+  Rng rng(w);
+  for (int trial = 0; trial < 10; ++trial) {
+    const BitVec a = BitVec::random(w, rng);
+    const BitVec b = BitVec::random(w, rng);
+    const BitVec c = BitVec::random(w, rng);
+    EXPECT_EQ(a ^ b, b ^ a);
+    EXPECT_EQ((a ^ b) ^ c, a ^ (b ^ c));
+    EXPECT_EQ(a ^ BitVec(w), a);
+    EXPECT_TRUE((a ^ a).is_zero());
+    // Dot product is bilinear: (a^b)·c == a·c xor b·c.
+    EXPECT_EQ((a ^ b).dot(c), a.dot(c) != b.dot(c));
+  }
+}
+
+TEST_P(WidthProperty, PopcountConsistentWithOnes) {
+  const std::size_t w = GetParam();
+  Rng rng(w + 1);
+  const BitVec v = BitVec::random(w, rng);
+  EXPECT_EQ(v.popcount(), v.ones().size());
+  for (std::size_t i : v.ones()) EXPECT_TRUE(v.get(i));
+}
+
+TEST_P(WidthProperty, LowestHighestBracketOnes) {
+  const std::size_t w = GetParam();
+  Rng rng(w + 2);
+  const BitVec v = BitVec::random(w, rng);
+  const auto ones = v.ones();
+  if (ones.empty()) {
+    EXPECT_EQ(v.lowest_set_bit(), w);
+    EXPECT_EQ(v.highest_set_bit(), w);
+  } else {
+    EXPECT_EQ(v.lowest_set_bit(), ones.front());
+    EXPECT_EQ(v.highest_set_bit(), ones.back());
+  }
+}
+
+TEST_P(WidthProperty, DecoderAgreesWithMatrixRank) {
+  const std::size_t w = GetParam();
+  Rng rng(w + 3);
+  std::vector<Payload> packets;
+  for (std::size_t i = 0; i < w; ++i) {
+    Payload p(8);
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng() & 0xff);
+    packets.push_back(std::move(p));
+  }
+  const GroupEncoder enc(packets);
+  Matrix m(0, w);
+  IncrementalDecoder dec(w);
+  // Feed random rows one at a time; rank must track exactly.
+  for (std::size_t r = 0; r < 2 * w + 8; ++r) {
+    const BitVec coeffs = BitVec::random(w, rng);
+    m.append_row(coeffs);
+    dec.add_row(enc.encode(coeffs));
+    ASSERT_EQ(dec.rank(), m.rank()) << "after row " << r;
+  }
+  ASSERT_TRUE(dec.complete());
+  for (std::size_t i = 0; i < w; ++i) EXPECT_EQ(dec.packet(i), packets[i]);
+}
+
+TEST_P(WidthProperty, DecodeOverheadHasGeometricTail) {
+  // Rows-beyond-width needed to decode: P(overhead > j) ~ 2^-j. Check the
+  // mean is below 3 (true mean is ~1.6) at every width.
+  const std::size_t w = GetParam();
+  Rng rng(w + 4);
+  std::vector<Payload> packets;
+  for (std::size_t i = 0; i < w; ++i) packets.push_back(Payload{static_cast<std::uint8_t>(i)});
+  const GroupEncoder enc(packets);
+  RunningStats overhead;
+  for (int trial = 0; trial < 100; ++trial) {
+    IncrementalDecoder dec(w);
+    std::size_t rows = 0;
+    while (!dec.complete()) {
+      dec.add_row(enc.encode_random(rng));
+      ++rows;
+    }
+    overhead.add(static_cast<double>(rows - w));
+  }
+  EXPECT_LT(overhead.mean(), 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthProperty,
+                         ::testing::Values<std::size_t>(1, 2, 3, 7, 8, 9, 16, 31,
+                                                        32, 33, 63, 64));
+
+TEST(MatrixProperty, RankSubadditiveUnderRowAppend) {
+  Rng rng(99);
+  Matrix m(0, 12);
+  std::size_t prev = 0;
+  for (int r = 0; r < 30; ++r) {
+    m.append_row(BitVec::random(12, rng));
+    const std::size_t rank = m.rank();
+    EXPECT_GE(rank, prev);
+    EXPECT_LE(rank, prev + 1);
+    prev = rank;
+  }
+  EXPECT_EQ(prev, 12u);  // 30 random rows over width 12: full whp
+}
+
+TEST(MatrixProperty, SolveConsistentForAnyRhsInColumnSpace) {
+  Rng rng(100);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Matrix m = Matrix::random(10, 6, rng);
+    const BitVec x = BitVec::random(6, rng);
+    const auto sol = m.solve(m.multiply(x));
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_EQ(m.multiply(*sol), m.multiply(x));
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::gf2

@@ -1,0 +1,163 @@
+#include "gf2/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace radiocast::gf2 {
+namespace {
+
+TEST(Matrix, IdentityHasFullRank) {
+  for (std::size_t n : {1u, 2u, 8u, 33u, 64u}) {
+    EXPECT_EQ(Matrix::identity(n).rank(), n);
+  }
+}
+
+TEST(Matrix, ZeroHasRankZero) {
+  Matrix m(5, 7);
+  EXPECT_EQ(m.rank(), 0u);
+}
+
+TEST(Matrix, DuplicateRowsReduceRank) {
+  Matrix m(0, 4);
+  m.append_row(BitVec::from_bits(4, {0, 1}));
+  m.append_row(BitVec::from_bits(4, {0, 1}));
+  m.append_row(BitVec::from_bits(4, {2}));
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Matrix, LinearlyDependentTriple) {
+  Matrix m(0, 4);
+  const BitVec a = BitVec::from_bits(4, {0, 1});
+  const BitVec b = BitVec::from_bits(4, {1, 2});
+  m.append_row(a);
+  m.append_row(b);
+  m.append_row(a ^ b);  // dependent
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Matrix, RankBoundedByDims) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t r = 1 + rng.next_below(20);
+    const std::size_t c = 1 + rng.next_below(20);
+    const Matrix m = Matrix::random(r, c, rng);
+    EXPECT_LE(m.rank(), std::min(r, c));
+  }
+}
+
+TEST(Matrix, MultiplyIdentity) {
+  Rng rng(2);
+  const Matrix id = Matrix::identity(16);
+  const BitVec x = BitVec::random(16, rng);
+  EXPECT_EQ(id.multiply(x), x);
+}
+
+TEST(Matrix, MultiplyLinear) {
+  Rng rng(3);
+  const Matrix m = Matrix::random(12, 9, rng);
+  const BitVec x = BitVec::random(9, rng);
+  const BitVec y = BitVec::random(9, rng);
+  EXPECT_EQ(m.multiply(x ^ y), m.multiply(x) ^ m.multiply(y));
+}
+
+TEST(Matrix, SolveRoundTrip) {
+  Rng rng(4);
+  int solved = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Matrix m = Matrix::random(20, 12, rng);
+    const BitVec x = BitVec::random(12, rng);
+    const BitVec b = m.multiply(x);
+    const auto sol = m.solve(b);
+    ASSERT_TRUE(sol.has_value());  // consistent by construction
+    EXPECT_EQ(m.multiply(*sol), b);
+    if (m.rank() == 12) {
+      EXPECT_EQ(*sol, x);  // unique solution
+      ++solved;
+    }
+  }
+  EXPECT_GT(solved, 30);  // most random 20x12 matrices have full column rank
+}
+
+TEST(Matrix, SolveDetectsInconsistency) {
+  // Rows: x0, x0 -> rhs (1, 0) is inconsistent.
+  Matrix m(0, 2);
+  m.append_row(BitVec::from_bits(2, {0}));
+  m.append_row(BitVec::from_bits(2, {0}));
+  BitVec b(2);
+  b.set(0, true);
+  EXPECT_FALSE(m.solve(b).has_value());  // (1, 0): x0 = 1 and x0 = 0
+  b.set(1, true);
+  // (1, 1) is consistent: x0 = 1 satisfies both rows.
+  const auto sol = m.solve(b);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(m.multiply(*sol), b);
+  b.set(0, false);
+  EXPECT_FALSE(m.solve(b).has_value());  // (0, 1)
+  b.set(1, false);
+  EXPECT_TRUE(m.solve(b).has_value());  // (0, 0): zero solution
+}
+
+TEST(Matrix, AppendRowSetsWidth) {
+  Matrix m;
+  m.append_row(BitVec::from_bits(6, {2}));
+  EXPECT_EQ(m.cols(), 6u);
+  EXPECT_EQ(m.rows(), 1u);
+}
+
+// Brute-force rank check on tiny matrices: enumerate all row subsets and
+// find the largest independent one.
+std::size_t brute_rank(const Matrix& m) {
+  const std::size_t n = m.rows();
+  std::size_t best = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    // Check whether the selected rows XOR to zero for some nonempty subset:
+    // instead, test independence by Gaussian elimination on the subset.
+    std::vector<BitVec> rows;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) rows.push_back(m.row(i));
+    }
+    // Eliminate.
+    std::size_t rank = 0;
+    for (std::size_t col = 0; col < m.cols(); ++col) {
+      std::size_t pivot = rank;
+      while (pivot < rows.size() && !rows[pivot].get(col)) ++pivot;
+      if (pivot == rows.size()) continue;
+      std::swap(rows[rank], rows[pivot]);
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (r != rank && rows[r].get(col)) rows[r] ^= rows[rank];
+      }
+      ++rank;
+    }
+    if (rank == rows.size()) best = std::max(best, rank);
+  }
+  return best;
+}
+
+TEST(Matrix, RankMatchesBruteForceOnSmall) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Matrix m = Matrix::random(5, 4, rng);
+    EXPECT_EQ(m.rank(), brute_rank(m));
+  }
+}
+
+// Lemma 3 sanity at test scale: with l = 2(w+2) + 8 ln(1/eps) rows the
+// matrix has full column rank with probability >= 1 - eps.
+TEST(Matrix, Lemma3ThresholdHolds) {
+  Rng rng(6);
+  const std::size_t w = 10;
+  const double eps = 0.05;
+  const auto l = static_cast<std::size_t>(2 * (w + 2) + 8 * std::log(1.0 / eps));
+  int full = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    if (Matrix::random(l, w, rng).full_column_rank()) ++full;
+  }
+  EXPECT_GE(static_cast<double>(full) / trials, 1.0 - eps);
+}
+
+}  // namespace
+}  // namespace radiocast::gf2

@@ -1,0 +1,178 @@
+#include "gf2/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gf2/coding.hpp"
+#include "gf2/matrix.hpp"
+
+namespace radiocast::gf2 {
+namespace {
+
+Payload make_payload(Rng& rng, std::size_t bytes) {
+  Payload p(bytes);
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng() & 0xff);
+  return p;
+}
+
+TEST(XorInto, BasicAndPadding) {
+  Payload a = {0x0f, 0xf0};
+  Payload b = {0xff};
+  xor_into(a, b);
+  EXPECT_EQ(a, (Payload{0xf0, 0xf0}));
+  Payload c = {0x01};
+  Payload d = {0x00, 0xab};
+  xor_into(c, d);
+  EXPECT_EQ(c, (Payload{0x01, 0xab}));
+}
+
+TEST(XorInto, SelfInverse) {
+  Rng rng(1);
+  Payload a = make_payload(rng, 16);
+  const Payload orig = a;
+  Payload b = make_payload(rng, 16);
+  xor_into(a, b);
+  xor_into(a, b);
+  EXPECT_EQ(a, orig);
+}
+
+TEST(IncrementalDecoder, UnitRowsDecodeDirectly) {
+  Rng rng(2);
+  const std::size_t w = 6;
+  std::vector<Payload> packets;
+  for (std::size_t i = 0; i < w; ++i) packets.push_back(make_payload(rng, 8));
+
+  IncrementalDecoder dec(w);
+  EXPECT_FALSE(dec.complete());
+  for (std::size_t i = 0; i < w; ++i) {
+    CodedRow row{BitVec::unit(w, i), packets[i]};
+    EXPECT_TRUE(dec.add_row(row));
+    EXPECT_EQ(dec.rank(), i + 1);
+  }
+  EXPECT_TRUE(dec.complete());
+  for (std::size_t i = 0; i < w; ++i) EXPECT_EQ(dec.packet(i), packets[i]);
+}
+
+TEST(IncrementalDecoder, RedundantRowsDoNotAdvanceRank) {
+  const std::size_t w = 4;
+  IncrementalDecoder dec(w);
+  CodedRow r0{BitVec::from_bits(w, {0, 1}), {0xaa}};
+  EXPECT_TRUE(dec.add_row(r0));
+  EXPECT_FALSE(dec.add_row(r0));  // duplicate
+  CodedRow zero{BitVec(w), {}};
+  EXPECT_FALSE(dec.add_row(zero));  // all-zero subset
+  EXPECT_EQ(dec.rank(), 1u);
+  EXPECT_EQ(dec.rows_seen(), 3u);
+  EXPECT_EQ(dec.redundant_rows(), 2u);
+}
+
+TEST(IncrementalDecoder, RandomCodedRoundTrip) {
+  Rng rng(3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t w = 1 + rng.next_below(12);
+    std::vector<Payload> packets;
+    for (std::size_t i = 0; i < w; ++i) packets.push_back(make_payload(rng, 16));
+    GroupEncoder enc(packets);
+
+    IncrementalDecoder dec(w);
+    std::size_t rows = 0;
+    while (!dec.complete()) {
+      dec.add_row(enc.encode_random(rng));
+      ASSERT_LT(++rows, 2000u);  // safety: decoding must terminate
+    }
+    for (std::size_t i = 0; i < w; ++i) EXPECT_EQ(dec.packet(i), packets[i]);
+  }
+}
+
+TEST(IncrementalDecoder, MixedUnitAndCodedRows) {
+  Rng rng(4);
+  const std::size_t w = 8;
+  std::vector<Payload> packets;
+  for (std::size_t i = 0; i < w; ++i) packets.push_back(make_payload(rng, 4));
+  GroupEncoder enc(packets);
+
+  IncrementalDecoder dec(w);
+  // Half the packets arrive as plain (unit) rows, the rest as random
+  // combinations — exactly what a distance-1 node relaying to distance-2
+  // neighbors produces.
+  for (std::size_t i = 0; i < w / 2; ++i) {
+    dec.add_row(CodedRow{BitVec::unit(w, i), packets[i]});
+  }
+  int safety = 0;
+  while (!dec.complete()) {
+    dec.add_row(enc.encode_random(rng));
+    ASSERT_LT(++safety, 1000);
+  }
+  EXPECT_EQ(dec.packets().size(), w);
+  for (std::size_t i = 0; i < w; ++i) EXPECT_EQ(dec.packet(i), packets[i]);
+}
+
+TEST(IncrementalDecoder, MatchesBatchSolver) {
+  // The incremental decoder and the batch Matrix::solve agree on which row
+  // sets are decodable.
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t w = 5;
+    std::vector<Payload> packets;
+    for (std::size_t i = 0; i < w; ++i) packets.push_back(make_payload(rng, 4));
+    GroupEncoder enc(packets);
+
+    const std::size_t rows = 3 + rng.next_below(6);
+    Matrix m(0, w);
+    IncrementalDecoder dec(w);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const BitVec coeffs = BitVec::random(w, rng);
+      m.append_row(coeffs);
+      dec.add_row(enc.encode(coeffs));
+    }
+    EXPECT_EQ(dec.rank(), m.rank());
+    EXPECT_EQ(dec.complete(), m.rank() == w);
+  }
+}
+
+TEST(IncrementalDecoder, ExpectedOverheadIsSmall) {
+  // Random GF(2) coding needs ~w + 2 rows on average (sum of 2^-j tail).
+  Rng rng(6);
+  const std::size_t w = 16;
+  std::size_t total_rows = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<Payload> packets;
+    for (std::size_t i = 0; i < w; ++i) packets.push_back(make_payload(rng, 2));
+    GroupEncoder enc(packets);
+    IncrementalDecoder dec(w);
+    while (!dec.complete()) dec.add_row(enc.encode_random(rng));
+    total_rows += dec.rows_seen();
+  }
+  const double avg = static_cast<double>(total_rows) / trials;
+  EXPECT_LT(avg, w + 4.0);
+  EXPECT_GE(avg, static_cast<double>(w));
+}
+
+TEST(GroupEncoder, EncodeMatchesManualXor) {
+  Rng rng(7);
+  std::vector<Payload> packets = {make_payload(rng, 8), make_payload(rng, 8),
+                                  make_payload(rng, 8)};
+  GroupEncoder enc(packets);
+  const BitVec coeffs = BitVec::from_bits(3, {0, 2});
+  const CodedRow row = enc.encode(coeffs);
+  Payload expected = packets[0];
+  xor_into(expected, packets[2]);
+  EXPECT_EQ(row.payload, expected);
+  EXPECT_EQ(row.coeffs, coeffs);
+}
+
+TEST(GroupEncoder, DecodesToHelper) {
+  Rng rng(8);
+  std::vector<Payload> packets = {make_payload(rng, 8), make_payload(rng, 8)};
+  GroupEncoder enc(packets);
+  std::vector<CodedRow> rows;
+  rows.push_back(enc.encode(BitVec::from_bits(2, {0})));
+  rows.push_back(enc.encode(BitVec::from_bits(2, {0, 1})));
+  EXPECT_TRUE(decodes_to(2, rows, packets));
+  rows.pop_back();
+  EXPECT_FALSE(decodes_to(2, rows, packets));
+}
+
+}  // namespace
+}  // namespace radiocast::gf2

@@ -1,0 +1,100 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radiocast::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0);
+  g.finalize();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, IsolatedVertices) {
+  Graph g(5);
+  g.finalize();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Graph, AddEdgeSymmetric) {
+  Graph g(4);
+  g.add_edge(0, 2);
+  g.finalize();
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, DuplicateEdgesIgnored) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, NeighborsSortedAfterFinalize) {
+  Graph g(5);
+  g.add_edge(0, 4);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.finalize();
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 2u);
+  EXPECT_EQ(nbrs[1], 3u);
+  EXPECT_EQ(nbrs[2], 4u);
+}
+
+TEST(Graph, EdgesListCanonical) {
+  Graph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(0, 2);
+  g.finalize();
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(Graph, MaxDegree) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  g.finalize();
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, SummaryMentionsCounts) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.finalize();
+  const std::string s = g.summary();
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("m=1"), std::string::npos);
+}
+
+TEST(GraphDeath, SelfLoopRejected) {
+  Graph g(3);
+  EXPECT_DEATH(g.add_edge(1, 1), "self-loops");
+}
+
+TEST(GraphDeath, AddAfterFinalizeRejected) {
+  Graph g(3);
+  g.finalize();
+  EXPECT_DEATH(g.add_edge(0, 1), "finalize");
+}
+
+}  // namespace
+}  // namespace radiocast::graph

@@ -1,0 +1,121 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::graph {
+namespace {
+
+TEST(GraphIo, RoundTripAllFamilies) {
+  Rng rng(1);
+  for (const std::string& family : named_families()) {
+    const Graph g = make_named(family, 32, rng);
+    std::string error;
+    const auto parsed = from_edge_list_string(to_edge_list_string(g), &error);
+    ASSERT_TRUE(parsed.has_value()) << family << ": " << error;
+    EXPECT_EQ(parsed->num_nodes(), g.num_nodes()) << family;
+    EXPECT_EQ(parsed->edges(), g.edges()) << family;
+  }
+}
+
+TEST(GraphIo, EmptyGraphRoundTrip) {
+  Graph g(0);
+  g.finalize();
+  const auto parsed = from_edge_list_string(to_edge_list_string(g));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_nodes(), 0u);
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "n 3   # trailing comment\n"
+      "e 0 1\n"
+      "\n"
+      "e 1 2 # another\n";
+  const auto g = from_edge_list_string(text);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_TRUE(g->has_edge(0, 1));
+  EXPECT_TRUE(g->has_edge(1, 2));
+}
+
+TEST(GraphIo, RejectsMissingHeader) {
+  std::string error;
+  EXPECT_FALSE(from_edge_list_string("e 0 1\n", &error).has_value());
+  EXPECT_NE(error.find("'e' before 'n'"), std::string::npos);
+  error.clear();
+  EXPECT_FALSE(from_edge_list_string("", &error).has_value());
+  EXPECT_NE(error.find("missing 'n'"), std::string::npos);
+}
+
+TEST(GraphIo, RejectsDuplicateHeader) {
+  std::string error;
+  EXPECT_FALSE(from_edge_list_string("n 2\nn 3\n", &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(GraphIo, RejectsOutOfRangeEndpoints) {
+  std::string error;
+  EXPECT_FALSE(from_edge_list_string("n 2\ne 0 2\n", &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+  EXPECT_FALSE(from_edge_list_string("n 2\ne -1 0\n", &error).has_value());
+}
+
+TEST(GraphIo, RejectsSelfLoop) {
+  std::string error;
+  EXPECT_FALSE(from_edge_list_string("n 2\ne 1 1\n", &error).has_value());
+  EXPECT_NE(error.find("self-loop"), std::string::npos);
+}
+
+TEST(GraphIo, RejectsUnknownDirective) {
+  std::string error;
+  EXPECT_FALSE(from_edge_list_string("n 2\nx 0 1\n", &error).has_value());
+  EXPECT_NE(error.find("unknown directive"), std::string::npos);
+}
+
+TEST(GraphIo, RejectsMalformedCounts) {
+  std::string error;
+  EXPECT_FALSE(from_edge_list_string("n foo\n", &error).has_value());
+  EXPECT_FALSE(from_edge_list_string("n 2\ne 0\n", &error).has_value());
+}
+
+TEST(GraphIo, ErrorMentionsLineNumber) {
+  std::string error;
+  EXPECT_FALSE(from_edge_list_string("n 2\ne 0 1\ne 5 0\n", &error).has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos);
+}
+
+TEST(GraphIo, DuplicateEdgesCollapse) {
+  const auto g = from_edge_list_string("n 2\ne 0 1\ne 1 0\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(GraphIo, DotOutputContainsEdges) {
+  const Graph g = make_path(3);
+  std::ostringstream out;
+  write_dot(out, g, "p3");
+  const std::string s = out.str();
+  EXPECT_NE(s.find("graph p3 {"), std::string::npos);
+  EXPECT_NE(s.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(s.find("1 -- 2;"), std::string::npos);
+}
+
+TEST(GraphIo, DotListsIsolatedVertices) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.finalize();
+  std::ostringstream out;
+  write_dot(out, g);
+  EXPECT_NE(out.str().find("  2;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radiocast::graph

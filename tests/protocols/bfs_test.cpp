@@ -1,0 +1,143 @@
+#include "protocols/bfs_construction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "radio/network.hpp"
+
+namespace radiocast::protocols {
+namespace {
+
+using radio::Knowledge;
+
+struct BfsOutcome {
+  bool all_joined = true;
+  bool tree_valid = false;
+};
+
+BfsOutcome run_bfs(const graph::Graph& g, radio::NodeId root, std::uint64_t seed) {
+  const Knowledge know = Knowledge::exact(g);
+  BfsBuildState::Config cfg;
+  cfg.know = know;
+  cfg.epochs_per_phase = 6 * know.log_n();
+  cfg.extra_phases = 2;
+
+  radio::Network net(g);
+  Rng master(seed);
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    net.set_protocol(
+        v, std::make_unique<BfsConstructionNode>(cfg, v, v == root, master.split()));
+  }
+  net.wake_at_start(root);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(know.d_hat + cfg.extra_phases) *
+      cfg.epochs_per_phase * know.log_delta();
+  for (std::uint64_t r = 0; r < total; ++r) net.step();
+
+  BfsOutcome out;
+  std::vector<radio::NodeId> parent(g.num_nodes());
+  std::vector<std::uint32_t> dist(g.num_nodes(), 0);
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& node = static_cast<const BfsConstructionNode&>(net.protocol(v));
+    if (!node.state().has_distance()) {
+      out.all_joined = false;
+      continue;
+    }
+    parent[v] = node.state().parent();
+    dist[v] = node.state().distance();
+  }
+  if (out.all_joined) {
+    out.tree_valid = graph::is_valid_bfs_tree(g, root, parent, dist);
+  }
+  return out;
+}
+
+class BfsFamilies : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BfsFamilies, BuildsExactTreeWhp) {
+  Rng grng(10);
+  const graph::Graph g = graph::make_named(GetParam(), 40, grng);
+  int valid = 0;
+  const int trials = 3;
+  for (int t = 0; t < trials; ++t) {
+    const BfsOutcome out = run_bfs(g, 0, 100 + t);
+    EXPECT_TRUE(out.all_joined) << GetParam() << " trial " << t;
+    if (out.tree_valid) ++valid;
+  }
+  // Exact distances hold w.h.p.; demand all trials at this size.
+  EXPECT_EQ(valid, trials) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, BfsFamilies,
+                         ::testing::ValuesIn(graph::named_families()));
+
+TEST(BfsConstruction, RootIsItsOwnParentAtDistanceZero) {
+  const graph::Graph g = graph::make_path(4);
+  const Knowledge know = Knowledge::exact(g);
+  Rng rng(1);
+  BfsBuildState::Config cfg{know, 4, 2};
+  BfsBuildState root(cfg, 2, true, &rng);
+  EXPECT_TRUE(root.has_distance());
+  EXPECT_EQ(root.distance(), 0u);
+  EXPECT_EQ(root.parent(), 2u);
+}
+
+TEST(BfsConstruction, NonRootStartsUnassigned) {
+  const graph::Graph g = graph::make_path(4);
+  const Knowledge know = Knowledge::exact(g);
+  Rng rng(2);
+  BfsBuildState::Config cfg{know, 4, 2};
+  BfsBuildState node(cfg, 1, false, &rng);
+  EXPECT_FALSE(node.has_distance());
+  // Unassigned nodes never transmit.
+  for (std::uint64_t r = 0; r < node.total_rounds(); ++r) {
+    EXPECT_FALSE(node.on_transmit(r).has_value());
+  }
+}
+
+TEST(BfsConstruction, FirstConstructionMessageWins) {
+  const graph::Graph g = graph::make_path(4);
+  const Knowledge know = Knowledge::exact(g);
+  Rng rng(3);
+  BfsBuildState::Config cfg{know, 4, 2};
+  BfsBuildState node(cfg, 1, false, &rng);
+  radio::Message m1{0, radio::BfsConstructMsg{0, 0}};
+  radio::Message m2{2, radio::BfsConstructMsg{2, 3}};
+  node.on_receive(0, m1);
+  node.on_receive(1, m2);
+  EXPECT_EQ(node.distance(), 1u);
+  EXPECT_EQ(node.parent(), 0u);
+}
+
+TEST(BfsConstruction, OnlyCurrentLayerTransmits) {
+  const graph::Graph g = graph::make_path(8);
+  const Knowledge know = Knowledge::exact(g);
+  Rng rng(4);
+  BfsBuildState::Config cfg{know, 2, 2};
+  BfsBuildState node(cfg, 3, false, &rng);
+  radio::Message m{2, radio::BfsConstructMsg{2, 1}};
+  node.on_receive(5, m);  // node adopts distance 2
+  const std::uint64_t phase_rounds = 2ull * know.log_delta();
+  // Phases 0,1: silent; phase 2: may transmit; later phases: silent.
+  bool transmitted_phase2 = false;
+  for (std::uint64_t r = 0; r < node.total_rounds(); ++r) {
+    const auto msg = node.on_transmit(r);
+    const std::uint64_t phase = r / phase_rounds;
+    if (msg.has_value()) {
+      EXPECT_EQ(phase, 2u);
+      transmitted_phase2 = true;
+      const auto* c = std::get_if<radio::BfsConstructMsg>(&*msg);
+      ASSERT_NE(c, nullptr);
+      EXPECT_EQ(c->id, 3u);
+      EXPECT_EQ(c->dist, 2u);
+    }
+  }
+  EXPECT_TRUE(transmitted_phase2);  // whp over the phase's epochs
+}
+
+}  // namespace
+}  // namespace radiocast::protocols

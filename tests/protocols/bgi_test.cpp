@@ -1,0 +1,173 @@
+#include "protocols/bgi_broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "protocols/alarm.hpp"
+#include "radio/network.hpp"
+
+namespace radiocast::protocols {
+namespace {
+
+using radio::Knowledge;
+
+/// Builds a network of BgiBroadcastNodes with the given sources flooding an
+/// AlarmMsg, runs to completion or window end, and reports whether every
+/// node got the message.
+struct FloodOutcome {
+  bool all_received = true;
+  std::uint64_t completion_round = 0;
+};
+
+FloodOutcome run_flood(const graph::Graph& g, const std::vector<radio::NodeId>& sources,
+                       std::uint64_t seed, std::uint32_t epochs = 0) {
+  const Knowledge know = Knowledge::exact(g);
+  BgiBroadcastNode::Config cfg;
+  cfg.know = know;
+  cfg.epochs = epochs;
+
+  radio::Network net(g);
+  Rng master(seed);
+  std::vector<bool> is_source(g.num_nodes(), false);
+  for (radio::NodeId s : sources) is_source[s] = true;
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    net.set_protocol(v, std::make_unique<BgiBroadcastNode>(
+                            cfg, is_source[v],
+                            is_source[v] ? std::optional<radio::MessageBody>(
+                                               radio::AlarmMsg{})
+                                         : std::nullopt,
+                            master.split()));
+    if (is_source[v]) net.wake_at_start(v);
+  }
+  const std::uint64_t window =
+      static_cast<std::uint64_t>(epochs != 0 ? epochs : bgi_default_epochs(know)) *
+      know.log_delta();
+  const bool done = net.run_until_done(window);
+  FloodOutcome out;
+  out.all_received = done;
+  out.completion_round = net.current_round();
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& node = static_cast<const BgiBroadcastNode&>(net.protocol(v));
+    if (!node.has_message()) out.all_received = false;
+  }
+  return out;
+}
+
+TEST(BgiBroadcast, SingleSourceReachesAllOnPath) {
+  const graph::Graph g = graph::make_path(30);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    EXPECT_TRUE(run_flood(g, {0}, seed).all_received) << "seed " << seed;
+  }
+}
+
+TEST(BgiBroadcast, SingleSourceReachesAllOnStar) {
+  const graph::Graph g = graph::make_star(40);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    EXPECT_TRUE(run_flood(g, {5}, seed).all_received) << "seed " << seed;
+  }
+}
+
+TEST(BgiBroadcast, SingleSourceReachesAllOnGeometric) {
+  Rng grng(3);
+  const graph::Graph g = graph::make_random_geometric(60, 0.25, grng);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    EXPECT_TRUE(run_flood(g, {0}, seed).all_received) << "seed " << seed;
+  }
+}
+
+TEST(BgiBroadcast, MultiSourceBehavesLikeAlarm) {
+  // Many sources, one message — the ALARM setting. Every node must still
+  // receive it (the paper's n+1-virtual-source argument).
+  Rng grng(4);
+  const graph::Graph g = graph::make_gnp_connected(50, 0.08, grng);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    EXPECT_TRUE(run_flood(g, {1, 10, 20, 30, 45}, seed).all_received);
+  }
+}
+
+TEST(BgiBroadcast, NoSourceMeansSilence) {
+  const graph::Graph g = graph::make_path(10);
+  const FloodOutcome out = run_flood(g, {}, 1);
+  EXPECT_FALSE(out.all_received);
+}
+
+TEST(BgiBroadcast, CompletionScalesWithDiameter) {
+  // Deep path vs flat star at the same n: the path must take strictly
+  // longer (D dominates), the star must finish in O(log) rounds.
+  const graph::Graph path = graph::make_path(64);
+  const graph::Graph star = graph::make_star(64);
+  std::uint64_t path_total = 0, star_total = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    path_total += run_flood(path, {0}, seed).completion_round;
+    star_total += run_flood(star, {0}, seed).completion_round;
+  }
+  EXPECT_GT(path_total, 3 * star_total);
+}
+
+TEST(BgiFlood, SourceTransmitsReceiverJoins) {
+  Rng rng(5);
+  BgiFlood source(2, &rng);
+  source.reset(radio::MessageBody{radio::AlarmMsg{}});
+  EXPECT_TRUE(source.has_message());
+  EXPECT_FALSE(source.received());
+  // Over one epoch the source transmits with probability 1/2 then 1/4:
+  // over many epochs it must transmit at least once.
+  bool transmitted = false;
+  for (std::uint64_t r = 0; r < 100; ++r) {
+    transmitted |= source.on_transmit(r).has_value();
+  }
+  EXPECT_TRUE(transmitted);
+
+  Rng rng2(6);
+  BgiFlood relay(2, &rng2);
+  relay.reset(std::nullopt);
+  EXPECT_FALSE(relay.has_message());
+  bool idle = false;
+  for (std::uint64_t r = 0; r < 100; ++r) {
+    idle |= relay.on_transmit(r).has_value();
+  }
+  EXPECT_FALSE(idle);  // nodes without the message never transmit
+  relay.on_receive(radio::MessageBody{radio::AlarmMsg{}});
+  EXPECT_TRUE(relay.has_message());
+  EXPECT_TRUE(relay.received());
+}
+
+TEST(AlarmWindow, ArmedHeardPositiveSemantics) {
+  Rng rng(7);
+  AlarmWindow w(2, &rng);
+  w.reset(false);
+  EXPECT_FALSE(w.armed());
+  EXPECT_FALSE(w.heard());
+  EXPECT_FALSE(w.positive());
+  w.on_receive(radio::MessageBody{radio::AlarmMsg{}});
+  EXPECT_TRUE(w.heard());
+  EXPECT_TRUE(w.positive());
+
+  w.reset(true);
+  EXPECT_TRUE(w.armed());
+  EXPECT_FALSE(w.heard());
+  EXPECT_TRUE(w.positive());
+}
+
+TEST(AlarmWindow, IgnoresNonAlarmBodies) {
+  Rng rng(8);
+  AlarmWindow w(2, &rng);
+  w.reset(false);
+  w.on_receive(radio::MessageBody{radio::BfsConstructMsg{}});
+  EXPECT_FALSE(w.positive());
+}
+
+TEST(AlarmWindow, DefaultEpochsFormula) {
+  Knowledge know;
+  know.n_hat = 64;
+  know.delta_hat = 8;
+  know.d_hat = 10;
+  EXPECT_EQ(bgi_default_epochs(know), 4u * 10 + 12u * 6);
+  EXPECT_EQ(alarm_window_rounds(know, 10), 10u * know.log_delta());
+}
+
+}  // namespace
+}  // namespace radiocast::protocols

@@ -1,0 +1,141 @@
+// Tests of the collision-detection model ablation: the CD channel
+// semantics in the engine and the native binary-search election built on
+// it.
+#include "protocols/cd_leader_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "radio/network.hpp"
+
+namespace radiocast::protocols {
+namespace {
+
+/// Records on_collision callbacks; transmits per script.
+class CdProbe final : public radio::NodeProtocol {
+ public:
+  explicit CdProbe(bool transmit) : transmit_(transmit) {}
+  std::optional<radio::MessageBody> on_transmit(radio::Round) override {
+    if (transmit_) return radio::MessageBody{radio::AlarmMsg{}};
+    return std::nullopt;
+  }
+  void on_receive(radio::Round, const radio::Message&) override { ++received_; }
+  void on_collision(radio::Round) override { ++collisions_; }
+  bool transmit_;
+  int received_ = 0;
+  int collisions_ = 0;
+};
+
+TEST(CollisionDetection, CallbackFiresOnlyWhenEnabled) {
+  for (const bool enabled : {false, true}) {
+    const graph::Graph g = graph::make_star(3);  // two leaves + center
+    radio::Network net(g);
+    net.enable_collision_detection(enabled);
+    net.set_protocol(0, std::make_unique<CdProbe>(false));
+    net.set_protocol(1, std::make_unique<CdProbe>(true));
+    net.set_protocol(2, std::make_unique<CdProbe>(true));
+    for (radio::NodeId v = 0; v < 3; ++v) net.wake_at_start(v);
+    net.step();
+    const auto& center = static_cast<const CdProbe&>(net.protocol(0));
+    EXPECT_EQ(center.received_, 0);
+    EXPECT_EQ(center.collisions_, enabled ? 1 : 0);
+  }
+}
+
+TEST(CollisionDetection, SingleTransmitterStillDeliversNormally) {
+  const graph::Graph g = graph::make_star(2);
+  radio::Network net(g);
+  net.enable_collision_detection(true);
+  net.set_protocol(0, std::make_unique<CdProbe>(false));
+  net.set_protocol(1, std::make_unique<CdProbe>(true));
+  net.wake_at_start(0);
+  net.wake_at_start(1);
+  net.step();
+  const auto& center = static_cast<const CdProbe&>(net.protocol(0));
+  EXPECT_EQ(center.received_, 1);
+  EXPECT_EQ(center.collisions_, 0);
+}
+
+struct CdElectionOutcome {
+  int leaders = 0;
+  radio::NodeId leader = 0;
+  std::uint64_t rounds = 0;
+};
+
+CdElectionOutcome run_cd_election(std::uint32_t n,
+                                  const std::vector<radio::NodeId>& participants) {
+  const graph::Graph g = graph::make_complete(n);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  radio::Network net(g);
+  net.enable_collision_detection(true);
+  std::vector<bool> is_part(n, false);
+  for (radio::NodeId p : participants) is_part[p] = true;
+  for (radio::NodeId v = 0; v < n; ++v) {
+    net.set_protocol(v, std::make_unique<CdLeaderElectionNode>(know, v, is_part[v]));
+    net.wake_at_start(v);
+  }
+  const auto& probe = static_cast<const CdLeaderElectionNode&>(net.protocol(0));
+  const std::uint64_t total = probe.total_rounds() + 1;
+  for (std::uint64_t r = 0; r < total; ++r) net.step();
+
+  CdElectionOutcome out;
+  out.rounds = total;
+  for (radio::NodeId v = 0; v < n; ++v) {
+    auto& node = static_cast<CdLeaderElectionNode&>(net.protocol(v));
+    node.finalize(total);
+    if (node.is_leader()) {
+      ++out.leaders;
+      out.leader = v;
+    }
+  }
+  return out;
+}
+
+TEST(CdLeaderElection, ElectsMaxInLogRounds) {
+  const CdElectionOutcome out = run_cd_election(16, {2, 7, 11});
+  EXPECT_EQ(out.leaders, 1);
+  EXPECT_EQ(out.leader, 11u);
+  EXPECT_LE(out.rounds, 5u);  // ceil(log2 16) + finalize round
+}
+
+TEST(CdLeaderElection, AllParticipate) {
+  const CdElectionOutcome out = run_cd_election(32, [] {
+    std::vector<radio::NodeId> v;
+    for (radio::NodeId i = 0; i < 32; ++i) v.push_back(i);
+    return v;
+  }());
+  EXPECT_EQ(out.leaders, 1);
+  EXPECT_EQ(out.leader, 31u);
+}
+
+TEST(CdLeaderElection, SingleParticipant) {
+  const CdElectionOutcome out = run_cd_election(16, {5});
+  EXPECT_EQ(out.leaders, 1);
+  EXPECT_EQ(out.leader, 5u);
+}
+
+TEST(CdLeaderElection, ParticipantZero) {
+  const CdElectionOutcome out = run_cd_election(8, {0});
+  EXPECT_EQ(out.leaders, 1);
+  EXPECT_EQ(out.leader, 0u);
+}
+
+TEST(CdLeaderElection, NoParticipants) {
+  const CdElectionOutcome out = run_cd_election(8, {});
+  EXPECT_EQ(out.leaders, 0);
+}
+
+TEST(CdLeaderElection, AdjacentIdsResolved) {
+  // The hardest case for a binary search: two candidates one apart.
+  for (const radio::NodeId base : {0u, 6u, 14u}) {
+    const CdElectionOutcome out = run_cd_election(16, {base, base + 1});
+    EXPECT_EQ(out.leaders, 1);
+    EXPECT_EQ(out.leader, base + 1);
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::protocols

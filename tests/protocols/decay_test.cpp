@@ -1,0 +1,149 @@
+#include "protocols/decay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace radiocast::protocols {
+namespace {
+
+TEST(Decay, ProbabilitySequenceHalves) {
+  Decay d(4);
+  EXPECT_DOUBLE_EQ(d.probability(0), 0.5);
+  EXPECT_DOUBLE_EQ(d.probability(1), 0.25);
+  EXPECT_DOUBLE_EQ(d.probability(2), 0.125);
+  EXPECT_DOUBLE_EQ(d.probability(3), 0.0625);
+  // Wraps to the next epoch.
+  EXPECT_DOUBLE_EQ(d.probability(4), 0.5);
+  EXPECT_DOUBLE_EQ(d.probability(7), 0.0625);
+}
+
+TEST(Decay, EpochOf) {
+  Decay d(3);
+  EXPECT_EQ(d.epoch_of(0), 0u);
+  EXPECT_EQ(d.epoch_of(2), 0u);
+  EXPECT_EQ(d.epoch_of(3), 1u);
+  EXPECT_EQ(d.epoch_of(8), 2u);
+}
+
+TEST(Decay, DecideMatchesProbability) {
+  Decay d(3);
+  Rng rng(1);
+  const int trials = 40000;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    int hits = 0;
+    for (int i = 0; i < trials; ++i) {
+      if (d.decide(s, rng)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / trials, d.probability(s), 0.01);
+  }
+}
+
+// The Decay guarantee the whole protocol stack rests on: for any number of
+// transmitters m with 1 <= m <= Delta, some round of the epoch has constant
+// success probability ("exactly one of m transmits"). We Monte-Carlo the
+// per-epoch success probability (success in at least one round) and require
+// the constant to be respectable across the full range of m.
+class DecayEpochSuccess : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecayEpochSuccess, EpochSuccessIsConstant) {
+  const int m = GetParam();            // number of transmitting neighbors
+  const std::uint32_t delta = 64;      // epoch tuned for Delta = 64
+  Decay d(6);                          // ceil(log2 64)
+  Rng rng(1000 + m);
+  (void)delta;
+
+  BernoulliCounter success;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    bool received = false;
+    for (std::uint32_t s = 0; s < 6 && !received; ++s) {
+      int transmitting = 0;
+      for (int i = 0; i < m; ++i) {
+        if (d.decide(s, rng)) ++transmitting;
+      }
+      received = transmitting == 1;
+    }
+    success.add(received);
+  }
+  // The classical analysis gives >= 1/(2e) for the single best round; the
+  // whole epoch does at least that. Require a safe 0.3.
+  EXPECT_GE(success.wilson_lower95(), 0.3) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(TransmitterCounts, DecayEpochSuccess,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32, 64));
+
+TEST(PersistentDecay, AlwaysTransmitsFirstRoundOfEpoch) {
+  PersistentDecay d(4);
+  Rng rng(1);
+  for (std::uint64_t epoch = 0; epoch < 50; ++epoch) {
+    EXPECT_TRUE(d.decide(epoch * 4, rng));
+  }
+}
+
+TEST(PersistentDecay, TransmissionsArePrefixOfEpoch) {
+  // Once the node stops within an epoch it stays silent until the next.
+  PersistentDecay d(6);
+  Rng rng(2);
+  for (std::uint64_t epoch = 0; epoch < 200; ++epoch) {
+    bool stopped = false;
+    for (std::uint32_t s = 0; s < 6; ++s) {
+      const bool tx = d.decide(epoch * 6 + s, rng);
+      if (stopped) {
+        EXPECT_FALSE(tx);
+      }
+      if (!tx) stopped = true;
+    }
+  }
+}
+
+TEST(PersistentDecay, MarginalsHalveFromOne) {
+  PersistentDecay d(5);
+  Rng rng(3);
+  const int epochs = 40000;
+  std::vector<int> counts(5, 0);
+  for (int e = 0; e < epochs; ++e) {
+    for (std::uint32_t s = 0; s < 5; ++s) {
+      if (d.decide(static_cast<std::uint64_t>(e) * 5 + s, rng)) ++counts[s];
+    }
+  }
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    const double expected = 1.0 / static_cast<double>(1u << s);
+    EXPECT_NEAR(static_cast<double>(counts[s]) / epochs, expected, 0.01)
+        << "round " << s;
+  }
+}
+
+class PersistentDecayEpochSuccess : public ::testing::TestWithParam<int> {};
+
+TEST_P(PersistentDecayEpochSuccess, EpochSuccessIsConstant) {
+  // The classic formulation gives the same constant-probability guarantee.
+  const int m = GetParam();
+  Rng rng(2000 + m);
+  BernoulliCounter success;
+  const int trials = 4000;
+  std::vector<PersistentDecay> nodes(static_cast<std::size_t>(m),
+                                     PersistentDecay(6));
+  for (int t = 0; t < trials; ++t) {
+    bool received = false;
+    for (std::uint32_t s = 0; s < 6; ++s) {
+      int transmitting = 0;
+      for (auto& node : nodes) {
+        if (node.decide(static_cast<std::uint64_t>(t) * 6 + s, rng)) ++transmitting;
+      }
+      received |= transmitting == 1;
+    }
+    success.add(received);
+  }
+  // Slightly looser than the independent variant: at m = 2^epoch_len the
+  // persistent rule's success probability sits just above 0.29.
+  EXPECT_GE(success.wilson_lower95(), 0.28) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(TransmitterCounts, PersistentDecayEpochSuccess,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace radiocast::protocols

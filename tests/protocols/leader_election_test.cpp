@@ -1,0 +1,152 @@
+#include "protocols/leader_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "radio/network.hpp"
+
+namespace radiocast::protocols {
+namespace {
+
+using radio::Knowledge;
+
+struct ElectionOutcome {
+  int leaders = 0;
+  radio::NodeId leader = 0;
+  bool all_participants_agree = true;
+  std::uint64_t rounds = 0;
+};
+
+ElectionOutcome run_election(const graph::Graph& g,
+                             const std::vector<radio::NodeId>& participants,
+                             std::uint64_t seed) {
+  const Knowledge know = Knowledge::exact(g);
+  LeaderElectionState::Config cfg;
+  cfg.know = know;
+  cfg.probe_epochs = bgi_default_epochs(know);
+
+  radio::Network net(g);
+  Rng master(seed);
+  std::vector<bool> is_part(g.num_nodes(), false);
+  for (radio::NodeId p : participants) is_part[p] = true;
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    net.set_protocol(v, std::make_unique<LeaderElectionNode>(cfg, v, is_part[v],
+                                                             master.split()));
+    if (is_part[v]) net.wake_at_start(v);
+  }
+  // Run the full stage (plus one round so every node finalizes).
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(cfg.probe_epochs) * know.log_delta() *
+      std::max<std::uint32_t>(1, ceil_log2(next_pow2(know.n_hat)));
+  for (std::uint64_t r = 0; r <= total; ++r) net.step();
+
+  ElectionOutcome out;
+  out.rounds = total;
+  radio::NodeId expected = 0;
+  bool first = true;
+  for (radio::NodeId p : participants) {
+    expected = first ? p : std::max(expected, p);
+    first = false;
+  }
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto& node = static_cast<LeaderElectionNode&>(net.protocol(v));
+    node.state().finalize();
+    if (node.state().is_leader()) {
+      ++out.leaders;
+      out.leader = v;
+    }
+    if (is_part[v] && node.state().leader_id() != expected) {
+      out.all_participants_agree = false;
+    }
+  }
+  return out;
+}
+
+TEST(LeaderElection, ElectsMaxIdOnPath) {
+  const graph::Graph g = graph::make_path(20);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const ElectionOutcome out = run_election(g, {3, 7, 12}, seed);
+    EXPECT_EQ(out.leaders, 1);
+    EXPECT_EQ(out.leader, 12u);
+    EXPECT_TRUE(out.all_participants_agree);
+  }
+}
+
+TEST(LeaderElection, ElectsMaxIdOnGnp) {
+  Rng grng(1);
+  const graph::Graph g = graph::make_gnp_connected(40, 0.1, grng);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const ElectionOutcome out = run_election(g, {0, 11, 25, 39}, seed);
+    EXPECT_EQ(out.leaders, 1);
+    EXPECT_EQ(out.leader, 39u);
+    EXPECT_TRUE(out.all_participants_agree);
+  }
+}
+
+TEST(LeaderElection, SingleParticipantWins) {
+  const graph::Graph g = graph::make_star(16);
+  const ElectionOutcome out = run_election(g, {4}, 1);
+  EXPECT_EQ(out.leaders, 1);
+  EXPECT_EQ(out.leader, 4u);
+}
+
+TEST(LeaderElection, ParticipantZeroWins) {
+  // Edge case: the only participant has the all-negative probe trace.
+  const graph::Graph g = graph::make_path(8);
+  const ElectionOutcome out = run_election(g, {0}, 2);
+  EXPECT_EQ(out.leaders, 1);
+  EXPECT_EQ(out.leader, 0u);
+}
+
+TEST(LeaderElection, NoParticipantsNoLeader) {
+  const graph::Graph g = graph::make_path(8);
+  const ElectionOutcome out = run_election(g, {}, 3);
+  EXPECT_EQ(out.leaders, 0);
+}
+
+TEST(LeaderElection, AllNodesParticipate) {
+  Rng grng(2);
+  const graph::Graph g = graph::make_random_geometric(30, 0.35, grng);
+  std::vector<radio::NodeId> everyone;
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) everyone.push_back(v);
+  const ElectionOutcome out = run_election(g, everyone, 4);
+  EXPECT_EQ(out.leaders, 1);
+  EXPECT_EQ(out.leader, g.num_nodes() - 1);
+  EXPECT_TRUE(out.all_participants_agree);
+}
+
+TEST(LeaderElectionState, ProbeCountMatchesIdSpace) {
+  Knowledge know;
+  know.n_hat = 100;  // next_pow2 = 128 => 7 probes
+  know.delta_hat = 4;
+  know.d_hat = 3;
+  Rng rng(5);
+  LeaderElectionState::Config cfg{know, 2};
+  LeaderElectionState st(cfg, 5, true, &rng);
+  EXPECT_EQ(st.probes(), 7u);
+  EXPECT_EQ(st.total_rounds(), 7ull * 2 * know.log_delta());
+}
+
+TEST(LeaderElectionState, IsolatedParticipantElectsItselfByRadioSilence) {
+  // One participant, no neighbors transmitting: probes it arms are
+  // positive (it knows its own signal), others are negative.
+  Knowledge know;
+  know.n_hat = 16;
+  know.delta_hat = 2;
+  know.d_hat = 2;
+  Rng rng(6);
+  LeaderElectionState::Config cfg{know, 2};
+  LeaderElectionState st(cfg, 9, true, &rng);
+  for (std::uint64_t r = 0; r < st.total_rounds(); ++r) st.on_transmit(r);
+  st.finalize();
+  EXPECT_TRUE(st.finished());
+  EXPECT_EQ(st.leader_id(), 9u);
+  EXPECT_TRUE(st.is_leader());
+}
+
+}  // namespace
+}  // namespace radiocast::protocols

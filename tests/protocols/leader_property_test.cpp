@@ -1,0 +1,110 @@
+// Leader-election property sweep: adversarial participant sets on several
+// topologies — the invariant is always "exactly one leader, and it is the
+// maximum-id participant, and every participant agrees".
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "protocols/leader_election.hpp"
+#include "radio/network.hpp"
+
+namespace radiocast::protocols {
+namespace {
+
+struct Outcome {
+  int leaders = 0;
+  radio::NodeId leader = 0;
+  bool participants_agree = true;
+};
+
+Outcome run(const graph::Graph& g, const std::vector<bool>& is_part,
+            std::uint64_t seed) {
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+  LeaderElectionState::Config cfg;
+  cfg.know = know;
+  cfg.probe_epochs = bgi_default_epochs(know);
+  radio::Network net(g);
+  Rng master(seed);
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    net.set_protocol(v, std::make_unique<LeaderElectionNode>(cfg, v, is_part[v],
+                                                             master.split()));
+    if (is_part[v]) net.wake_at_start(v);
+  }
+  radio::NodeId expected = 0;
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (is_part[v]) expected = v;
+  }
+  const auto& probe = static_cast<const LeaderElectionNode&>(net.protocol(0));
+  for (std::uint64_t r = 0; r <= probe.state().total_rounds(); ++r) net.step();
+
+  Outcome out;
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto& node = static_cast<LeaderElectionNode&>(net.protocol(v));
+    node.state().finalize();
+    if (node.state().is_leader()) {
+      ++out.leaders;
+      out.leader = v;
+    }
+    if (is_part[v] && node.state().leader_id() != expected) {
+      out.participants_agree = false;
+    }
+  }
+  return out;
+}
+
+enum class Pattern { kAll, kLowHalf, kHighHalf, kEveryThird, kTwoAdjacent, kExtremes };
+
+class LeaderSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, Pattern>> {};
+
+TEST_P(LeaderSweep, UniqueMaxIdLeader) {
+  const auto& [family, pattern] = GetParam();
+  Rng grng(3);
+  const graph::Graph g = graph::make_named(family, 32, grng);
+  const radio::NodeId n = g.num_nodes();
+  std::vector<bool> part(n, false);
+  radio::NodeId expected = 0;
+  switch (pattern) {
+    case Pattern::kAll:
+      for (radio::NodeId v = 0; v < n; ++v) part[v] = true;
+      expected = n - 1;
+      break;
+    case Pattern::kLowHalf:
+      for (radio::NodeId v = 0; v < n / 2; ++v) part[v] = true;
+      expected = n / 2 - 1;
+      break;
+    case Pattern::kHighHalf:
+      for (radio::NodeId v = n / 2; v < n; ++v) part[v] = true;
+      expected = n - 1;
+      break;
+    case Pattern::kEveryThird:
+      for (radio::NodeId v = 0; v < n; v += 3) part[v] = true;
+      expected = ((n - 1) / 3) * 3;
+      break;
+    case Pattern::kTwoAdjacent:
+      part[n / 2] = part[n / 2 + 1] = true;
+      expected = n / 2 + 1;
+      break;
+    case Pattern::kExtremes:
+      part[0] = part[n - 1] = true;
+      expected = n - 1;
+      break;
+  }
+  const Outcome out = run(g, part, 17);
+  EXPECT_EQ(out.leaders, 1) << family;
+  EXPECT_EQ(out.leader, expected) << family;
+  EXPECT_TRUE(out.participants_agree) << family;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LeaderSweep,
+    ::testing::Combine(::testing::Values("path", "star", "gnp", "geometric",
+                                         "cluster_chain"),
+                       ::testing::Values(Pattern::kAll, Pattern::kLowHalf,
+                                         Pattern::kHighHalf, Pattern::kEveryThird,
+                                         Pattern::kTwoAdjacent, Pattern::kExtremes)));
+
+}  // namespace
+}  // namespace radiocast::protocols

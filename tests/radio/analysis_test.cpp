@@ -1,0 +1,83 @@
+#include "radio/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radiocast::radio {
+namespace {
+
+Trace make_trace(const std::vector<TraceEvent>& events) {
+  Trace t;
+  t.enable_events(true);
+  for (const TraceEvent& e : events) t.record(e);
+  return t;
+}
+
+TEST(Analysis, BucketsDeliveriesByRound) {
+  const Trace t = make_trace({
+      {0, 1, TraceEvent::Kind::kDelivered, "alarm", 0},
+      {5, 2, TraceEvent::Kind::kDelivered, "alarm", 0},
+      {10, 1, TraceEvent::Kind::kDelivered, "coded", 0},
+      {19, 1, TraceEvent::Kind::kCollision, "", 0},
+  });
+  const ActivityTimeline tl = build_timeline(t, 20, 10);
+  ASSERT_EQ(tl.num_buckets(), 2u);
+  EXPECT_EQ(tl.deliveries_total[0], 2u);
+  EXPECT_EQ(tl.deliveries_total[1], 1u);
+  EXPECT_EQ(tl.collisions[0], 0u);
+  EXPECT_EQ(tl.collisions[1], 1u);
+  // Kind attribution.
+  const std::size_t alarm =
+      message_kind_index(MessageBody{AlarmMsg{}});
+  const std::size_t coded =
+      message_kind_index(MessageBody{CodedMsg{}});
+  EXPECT_EQ(tl.deliveries_by_kind[0][alarm], 2u);
+  EXPECT_EQ(tl.deliveries_by_kind[1][coded], 1u);
+}
+
+TEST(Analysis, RoundUpBucketCount) {
+  const Trace t = make_trace({});
+  EXPECT_EQ(build_timeline(t, 25, 10).num_buckets(), 3u);
+  EXPECT_EQ(build_timeline(t, 30, 10).num_buckets(), 3u);
+  EXPECT_EQ(build_timeline(t, 0, 10).num_buckets(), 0u);
+}
+
+TEST(Analysis, EventsBeyondHorizonIgnored) {
+  const Trace t = make_trace({
+      {99, 0, TraceEvent::Kind::kDelivered, "alarm", 1},
+  });
+  const ActivityTimeline tl = build_timeline(t, 10, 5);
+  EXPECT_EQ(tl.deliveries_total[0] + tl.deliveries_total[1], 0u);
+}
+
+TEST(Analysis, DeafEventsNotCounted) {
+  const Trace t = make_trace({
+      {1, 0, TraceEvent::Kind::kDeaf, "", 0},
+  });
+  const ActivityTimeline tl = build_timeline(t, 10, 10);
+  EXPECT_EQ(tl.deliveries_total[0], 0u);
+  EXPECT_EQ(tl.collisions[0], 0u);
+}
+
+TEST(Sparkline, EmptyAndZeroRows) {
+  EXPECT_EQ(sparkline({}), "");
+  EXPECT_EQ(sparkline({0, 0, 0}), "   ");
+}
+
+TEST(Sparkline, MaxGetsDensestGlyph) {
+  const std::string s = sparkline({1, 5, 10});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[2], '@');
+  EXPECT_NE(s[0], ' ');
+  // Monotone density.
+  const std::string levels = " .:-=+*#%@";
+  EXPECT_LE(levels.find(s[0]), levels.find(s[1]));
+  EXPECT_LE(levels.find(s[1]), levels.find(s[2]));
+}
+
+TEST(Sparkline, UniformRowIsUniform) {
+  const std::string s = sparkline({7, 7, 7, 7});
+  EXPECT_EQ(s, std::string(4, '@'));
+}
+
+}  // namespace
+}  // namespace radiocast::radio

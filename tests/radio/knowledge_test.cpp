@@ -1,0 +1,76 @@
+#include "radio/knowledge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::radio {
+namespace {
+
+TEST(Knowledge, ExactMatchesGraph) {
+  const graph::Graph g = graph::make_grid(4, 5);
+  const Knowledge k = Knowledge::exact(g);
+  EXPECT_EQ(k.n_hat, 20u);
+  EXPECT_EQ(k.delta_hat, 4u);
+  EXPECT_EQ(k.d_hat, 7u);
+}
+
+TEST(Knowledge, ExactClampsDegenerate) {
+  graph::Graph g(1);
+  g.finalize();
+  const Knowledge k = Knowledge::exact(g);
+  EXPECT_GE(k.n_hat, 2u);
+  EXPECT_GE(k.delta_hat, 1u);
+  EXPECT_GE(k.d_hat, 1u);
+}
+
+TEST(Knowledge, LogHelpers) {
+  Knowledge k;
+  k.n_hat = 256;
+  k.delta_hat = 1;
+  EXPECT_EQ(k.log_n(), 8u);
+  EXPECT_EQ(k.log_delta(), 1u);  // clamped: Δ̂=1 still needs 1-round epochs
+  k.delta_hat = 17;
+  EXPECT_EQ(k.log_delta(), 5u);
+  k.n_hat = 2;
+  EXPECT_EQ(k.log_n(), 1u);
+}
+
+TEST(Knowledge, PaddedDominatesExact) {
+  Rng rng(1);
+  for (const std::string& family : graph::named_families()) {
+    const graph::Graph g = graph::make_named(family, 40, rng);
+    const Knowledge exact = Knowledge::exact(g);
+    const Knowledge padded = Knowledge::padded(g, 2.0, 2.0);
+    EXPECT_GE(padded.n_hat, exact.n_hat) << family;
+    EXPECT_GE(padded.delta_hat, exact.delta_hat) << family;
+    EXPECT_GE(padded.d_hat, exact.d_hat) << family;
+  }
+}
+
+TEST(Knowledge, PaddedIsPolynomial) {
+  const graph::Graph g = graph::make_complete(16);
+  const Knowledge p = Knowledge::padded(g, 2.0, 3.0);
+  EXPECT_EQ(p.n_hat, 256u);
+  EXPECT_EQ(p.delta_hat, 225u);
+  EXPECT_EQ(p.d_hat, 4u);  // 1 * 3 + 1
+}
+
+TEST(Knowledge, PaddedClampsOverflow) {
+  const graph::Graph g = graph::make_complete(200);
+  const Knowledge p = Knowledge::padded(g, 5.0, 1.0);
+  EXPECT_LE(p.n_hat, 1000000000u);
+  EXPECT_LE(p.delta_hat, 1000000000u);
+}
+
+TEST(Knowledge, Equality) {
+  Knowledge a{10, 3, 2};
+  Knowledge b{10, 3, 2};
+  Knowledge c{10, 3, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace radiocast::radio

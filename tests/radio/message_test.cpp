@@ -1,0 +1,46 @@
+#include "radio/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radiocast::radio {
+namespace {
+
+TEST(PacketId, EncodesOriginAndSequence) {
+  const PacketId id = make_packet_id(0xabcd, 0x1234);
+  EXPECT_EQ(packet_origin(id), 0xabcdu);
+  EXPECT_EQ(packet_seq(id), 0x1234u);
+}
+
+TEST(PacketId, DistinctAcrossOrigins) {
+  EXPECT_NE(make_packet_id(1, 0), make_packet_id(2, 0));
+  EXPECT_NE(make_packet_id(1, 0), make_packet_id(1, 1));
+}
+
+TEST(MessageSize, AlarmIsOneBit) {
+  EXPECT_EQ(message_size_bits(AlarmMsg{}), 1u);
+}
+
+TEST(MessageSize, DataIncludesPayload) {
+  DataMsg m;
+  m.packet.payload.resize(16);
+  EXPECT_EQ(message_size_bits(m), 64u + 32u + 128u);
+}
+
+TEST(MessageSize, CodedHeaderProportionalToGroup) {
+  CodedMsg m;
+  m.group_size = 10;
+  m.payload.resize(4);
+  EXPECT_EQ(message_size_bits(m), 96u + 10u + 32u);
+}
+
+TEST(MessageKind, TagsAreDistinct) {
+  EXPECT_EQ(message_kind(AlarmMsg{}), "alarm");
+  EXPECT_EQ(message_kind(BfsConstructMsg{}), "bfs");
+  EXPECT_EQ(message_kind(DataMsg{}), "data");
+  EXPECT_EQ(message_kind(AckMsg{}), "ack");
+  EXPECT_EQ(message_kind(PlainPacketMsg{}), "plain");
+  EXPECT_EQ(message_kind(CodedMsg{}), "coded");
+}
+
+}  // namespace
+}  // namespace radiocast::radio

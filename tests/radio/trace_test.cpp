@@ -1,0 +1,54 @@
+#include "radio/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radiocast::radio {
+namespace {
+
+TEST(Trace, EventsOffByDefault) {
+  Trace t;
+  EXPECT_FALSE(t.events_enabled());
+  t.record({1, 2, TraceEvent::Kind::kDelivered, "alarm", 3});
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  Trace t;
+  t.enable_events(true);
+  t.record({1, 2, TraceEvent::Kind::kDelivered, "alarm", 3});
+  t.record({2, 0, TraceEvent::Kind::kCollision, "", 0});
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].round, 1u);
+  EXPECT_EQ(t.events()[0].node, 2u);
+  EXPECT_EQ(t.events()[0].from, 3u);
+  EXPECT_EQ(t.events()[1].kind, TraceEvent::Kind::kCollision);
+}
+
+TEST(Trace, ClearResetsEverything) {
+  Trace t;
+  t.enable_events(true);
+  t.counters().transmissions = 42;
+  t.counters().transmissions_by_kind[0] = 7;
+  t.record({1, 0, TraceEvent::Kind::kDeaf, "", 0});
+  t.clear();
+  EXPECT_EQ(t.counters().transmissions, 0u);
+  EXPECT_EQ(t.counters().transmissions_by_kind[0], 0u);
+  EXPECT_TRUE(t.events().empty());
+  // The enable flag survives a clear (it is configuration, not state).
+  EXPECT_TRUE(t.events_enabled());
+}
+
+TEST(Trace, KindNamesMatchVariantTags) {
+  // message_kind_name(index) must agree with message_kind(body) for every
+  // alternative — the analysis module depends on this.
+  const std::vector<MessageBody> bodies = {
+      BfsConstructMsg{}, AlarmMsg{}, DataMsg{}, AckMsg{}, PlainPacketMsg{},
+      CodedMsg{}};
+  ASSERT_EQ(bodies.size(), kNumMessageKinds);
+  for (const MessageBody& body : bodies) {
+    EXPECT_EQ(message_kind(body), message_kind_name(message_kind_index(body)));
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::radio
