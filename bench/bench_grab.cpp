@@ -58,6 +58,11 @@ int main() {
 
   const graph::BfsResult tree = graph::bfs(g, 0);
 
+  JsonReport json("E7_grab");
+  json.meta("claim", "GRAB(x) collects all packets whp when x >= k")
+      .meta("graph", g.summary())
+      .meta("seeds", std::to_string(seeds));
+
   for (const std::uint32_t k :
        {static_cast<std::uint32_t>(rc.initial_estimate / 2),
         static_cast<std::uint32_t>(rc.initial_estimate)}) {
@@ -99,6 +104,12 @@ int main() {
           .add(static_cast<double>(k) - rem, 0)
           .add(rem, 0)
           .add(rem / k, 3);
+      json.row()
+          .col("k", k)
+          .col("window", windows[w].copies > 1 ? "mspg" : "ospg")
+          .col("slots", windows[w].slots)
+          .col("copies", windows[w].copies)
+          .col("remaining", rem);
     }
     t.print(std::cout);
     std::cout << "# runs with all " << k << " packets collected after GRAB(x0): "

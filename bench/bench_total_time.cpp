@@ -22,6 +22,11 @@ int main() {
   const radio::Knowledge know = radio::Knowledge::exact(g);
   print_meta(std::cout, "graph", g.summary() + " D=" + std::to_string(know.d_hat));
 
+  JsonReport json("E2_total_time");
+  json.meta("claim", "total rounds = O(k logD + (D+logn) logn logD)")
+      .meta("graph", g.summary())
+      .meta("seeds", std::to_string(seeds));
+
   Table t({"k", "stage1", "stage2", "stage3", "stage4", "total", "phases", "r/pkt",
            "ok"});
   double prev_total = 0;
@@ -55,6 +60,16 @@ int main() {
         .add(phases.median(), 0)
         .add(rpp.median(), 1)
         .add(ok == runs ? "yes" : "NO");
+    json.row()
+        .col("k", k)
+        .col("stage1", s1.median())
+        .col("stage2", s2.median())
+        .col("stage3", s3.median())
+        .col("stage4", s4.median())
+        .col("total", total.median())
+        .col("phases", phases.median())
+        .col("rounds_per_packet", rpp.median())
+        .col("all_delivered", ok == runs);
   }
   t.print(std::cout);
   std::cout << "# expected: stages 1-2 constant in k; stages 3-4 linear in k;\n"

@@ -6,8 +6,11 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "baselines/uncoded_pipeline.hpp"
@@ -17,6 +20,7 @@
 #include "core/runner.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "obs/json.hpp"
 
 namespace radiocast::benchutil {
 
@@ -72,5 +76,107 @@ inline void banner(const std::string& id, const std::string& claim) {
   print_meta(std::cout, "claim", claim);
   print_meta(std::cout, "seeds", std::to_string(seeds_from_env()));
 }
+
+/// Machine-readable bench results: mirrors the printed table as
+/// `BENCH_<id>.json` in `$RADIOCAST_BENCH_JSON_DIR` (no-op when the env
+/// var is unset, so local bench runs stay file-free). Shape:
+///
+///   {"bench":"E2_total_time",
+///    "meta":{"claim":"...","seeds":"3"},
+///    "rows":[{"k":8,"total":1234,...}, ...]}
+///
+/// The trajectory of these files over time is the regression baseline the
+/// ROADMAP's perf PRs diff against.
+class JsonReport {
+ public:
+  using Value = std::variant<std::string, double, std::uint64_t, std::int64_t, bool>;
+
+  explicit JsonReport(std::string id) : id_(std::move(id)) {
+    const char* dir = std::getenv("RADIOCAST_BENCH_JSON_DIR");
+    if (dir != nullptr && *dir != '\0') path_ = std::string(dir) + "/BENCH_" + id_ + ".json";
+  }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { write(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  JsonReport& meta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, value);
+    return *this;
+  }
+
+  /// Starts a new result row; fill it with col().
+  JsonReport& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  JsonReport& col(const std::string& key, std::string value) {
+    return add_col(key, Value(std::move(value)));
+  }
+  JsonReport& col(const std::string& key, const char* value) {
+    return add_col(key, Value(std::string(value)));
+  }
+  JsonReport& col(const std::string& key, double value) {
+    return add_col(key, Value(value));
+  }
+  JsonReport& col(const std::string& key, bool value) {
+    return add_col(key, Value(value));
+  }
+  JsonReport& col(const std::string& key, std::uint64_t value) {
+    return add_col(key, Value(value));
+  }
+  JsonReport& col(const std::string& key, std::int64_t value) {
+    return add_col(key, Value(value));
+  }
+  JsonReport& col(const std::string& key, int value) {
+    return add_col(key, Value(static_cast<std::int64_t>(value)));
+  }
+  JsonReport& col(const std::string& key, unsigned value) {
+    return add_col(key, Value(static_cast<std::uint64_t>(value)));
+  }
+
+  /// Writes the file (idempotent; also called by the destructor).
+  void write() {
+    if (path_.empty() || written_) return;
+    written_ = true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "# JsonReport: cannot open " << path_ << "\n";
+      return;
+    }
+    obs::JsonWriter w(out);
+    w.begin_object().kv("bench", id_);
+    w.key("meta").begin_object();
+    for (const auto& [k, v] : meta_) w.kv(k, v);
+    w.end_object();
+    w.key("rows").begin_array();
+    for (const auto& row : rows_) {
+      w.begin_object();
+      for (const auto& [k, v] : row) {
+        w.key(k);
+        std::visit([&w](const auto& x) { w.value(x); }, v);
+      }
+      w.end_object();
+    }
+    w.end_array().end_object();
+    out << '\n';
+    std::cout << "# json: " << path_ << "\n";
+  }
+
+ private:
+  JsonReport& add_col(const std::string& key, Value value) {
+    if (rows_.empty()) rows_.emplace_back();
+    rows_.back().emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  std::string id_;
+  std::string path_;
+  bool written_ = false;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::vector<std::pair<std::string, Value>>> rows_;
+};
 
 }  // namespace radiocast::benchutil

@@ -1,25 +1,29 @@
-// Stage timeline — visualizes a full k-broadcast run as per-message-kind
-// ASCII sparklines over time, making the paper's four-stage structure
-// visible at a glance:
+// Stage timeline — runs a full k-broadcast with the flight recorder
+// attached and renders the run's structure from the recorded span tree:
 //
-//   alarm  ######      ..   ..   ..            <- stage 1 probes + alarms
-//   bfs          ####                           <- stage 2 layers
-//   data              ## ## ##                  <- stage 3 unicasts
-//   ack                 #  #  #                 <- stage 3 acks
-//   plain                        #  #  #        <- stage 4 root injections
-//   coded                        ########       <- stage 4 FORWARD
+//   stage1.leader          [      0,    960)    960 rounds
+//   stage2.bfs             [    960,   2112)   1152 rounds
+//   stage3.collection      [   2112,   5240)   3128 rounds
+//     phase p=0 x=512      [   2112,   3660)   1548 rounds  alarmed
+//       ospg slots=3072    [   2112,   2630)    518 rounds
+//       ...
+//   stage4.dissemination   [   5240,   8001)   2761 rounds
 //
-//   $ ./stage_timeline [n] [k] [seed]
+// and writes the same data as <prefix>.jsonl (grep/jq-able) and
+// <prefix>.trace.json (open in chrome://tracing or ui.perfetto.dev).
+//
+//   $ ./stage_timeline [n] [k] [seed] [out-prefix]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
+#include <fstream>
+#include <string>
 
 #include "common/rng.hpp"
-#include "core/protocol.hpp"
 #include "core/runner.hpp"
 #include "graph/generators.hpp"
-#include "radio/analysis.hpp"
-#include "radio/network.hpp"
+#include "obs/export.hpp"
+#include "obs/observer.hpp"
 
 int main(int argc, char** argv) {
   using namespace radiocast;
@@ -28,52 +32,83 @@ int main(int argc, char** argv) {
   const std::uint32_t k =
       argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 48;
   const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
+  const std::string prefix = argc > 4 ? argv[4] : "stage_timeline";
 
   Rng grng(seed);
   const graph::Graph g = graph::make_random_geometric(n, 0.3, grng);
   core::KBroadcastConfig cfg;
   cfg.know = radio::Knowledge::exact(g);
-  const core::ResolvedConfig rc = core::resolve(cfg);
 
   Rng prng(seed + 1);
   const core::Placement placement =
       core::make_placement(n, k, core::PlacementMode::kRandom, 16, prng);
 
-  radio::Network net(g);
-  net.trace().enable_events(true);
-  Rng master(seed + 2);
-  for (radio::NodeId v = 0; v < n; ++v) {
-    net.set_protocol(v, std::make_unique<core::KBroadcastNode>(
-                            rc, v, placement[v], master.split()));
-    if (!placement[v].empty()) net.wake_at_start(v);
-  }
-  const bool done = net.run_until_done(core::total_rounds_bound(k, rc));
-  const std::uint64_t total = net.current_round();
+  obs::RunObserver observer;
+  const core::RunResult r = core::run_kbroadcast(g, cfg, placement, seed + 2,
+                                                 /*max_rounds=*/0, /*faults=*/{},
+                                                 &observer);
   std::printf("%s, k=%u: %s in %llu rounds\n", g.summary().c_str(), k,
-              done ? "delivered" : "INCOMPLETE",
-              static_cast<unsigned long long>(total));
+              r.delivered_all ? "delivered" : "INCOMPLETE",
+              static_cast<unsigned long long>(r.total_rounds));
 
-  constexpr std::size_t kWidth = 100;
-  const std::uint64_t bucket = std::max<std::uint64_t>(1, total / kWidth);
-  const radio::ActivityTimeline tl = radio::build_timeline(net.trace(), total, bucket);
-
-  std::printf("bucket = %llu rounds; stage boundaries: |1|=%llu |2|=%llu "
-              "(stage 3+4 lengths are run-dependent)\n\n",
-              static_cast<unsigned long long>(bucket),
-              static_cast<unsigned long long>(rc.stage1_rounds),
-              static_cast<unsigned long long>(rc.stage2_rounds));
-
-  for (std::size_t kind = 0; kind < radio::kNumMessageKinds; ++kind) {
-    std::vector<std::uint64_t> row(tl.num_buckets());
-    std::uint64_t sum = 0;
-    for (std::size_t b = 0; b < tl.num_buckets(); ++b) {
-      row[b] = tl.deliveries_by_kind[b][kind];
-      sum += row[b];
+  // --- Span tree ---
+  std::vector<obs::Span> spans = observer.spans();
+  std::sort(spans.begin(), spans.end(), [](const obs::Span& a, const obs::Span& b) {
+    return a.begin_round != b.begin_round ? a.begin_round < b.begin_round
+                                          : a.depth < b.depth;
+  });
+  for (const obs::Span& s : spans) {
+    std::string label(2 * s.depth, ' ');
+    label += s.name;
+    for (const obs::SpanAttr& a : s.attrs) {
+      if (a.key == "stage") continue;
+      if (a.key == "alarmed") {
+        if (a.value != 0) label += " alarmed";
+        continue;
+      }
+      label += ' ' + a.key.substr(0, 1) + '=' + std::to_string(a.value);
     }
-    if (sum == 0) continue;
-    std::printf("%-6s |%s|\n", radio::message_kind_name(kind).c_str(),
-                radio::sparkline(row).c_str());
+    std::printf("%-34s [%7llu, %7llu) %7llu rounds\n", label.c_str(),
+                static_cast<unsigned long long>(s.begin_round),
+                static_cast<unsigned long long>(s.end_round),
+                static_cast<unsigned long long>(s.duration()));
   }
-  std::printf("%-6s |%s|\n", "coll.", radio::sparkline(tl.collisions).c_str());
-  return done ? 0 : 1;
+
+  // --- Per-stage channel metrics (deliveries by kind) ---
+  std::printf("\n%-22s %-8s %12s\n", "stage", "kind", "deliveries");
+  for (const obs::MetricSample& m : r.metrics) {
+    if (m.name != "sim.deliveries" || m.labels.size() != 2) continue;
+    // labels are sorted: [("kind", ...), ("stage", ...)].
+    std::printf("%-22s %-8s %12.0f\n", m.labels[1].second.c_str(),
+                m.labels[0].second.c_str(), m.value);
+  }
+
+  // --- Machine-readable dumps ---
+  bool wrote = true;
+  {
+    std::ofstream out(prefix + ".jsonl");
+    if (out) {
+      obs::write_run_jsonl(out, observer, r.total_rounds);
+    } else {
+      wrote = false;
+    }
+  }
+  {
+    std::ofstream out(prefix + ".trace.json");
+    if (out) {
+      obs::write_chrome_trace(out, observer.spans());
+    } else {
+      wrote = false;
+    }
+  }
+  if (wrote) {
+    std::printf("\nwrote %s.jsonl and %s.trace.json (open the latter in "
+                "chrome://tracing or ui.perfetto.dev)\n",
+                prefix.c_str(), prefix.c_str());
+  } else {
+    std::fprintf(stderr, "\nerror: cannot write %s.jsonl / %s.trace.json\n",
+                 prefix.c_str(), prefix.c_str());
+    return 2;
+  }
+  return r.delivered_all ? 0 : 1;
 }

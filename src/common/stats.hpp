@@ -14,10 +14,14 @@ class RunningStats {
   void add(double x);
 
   std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
   double mean() const { return count_ == 0 ? 0.0 : mean_; }
   /// Unbiased sample variance; 0 for fewer than two samples.
   double variance() const;
   double stddev() const;
+  /// CAUTION: min()/max() return 0.0 on an empty accumulator, which is
+  /// indistinguishable from a real 0.0 sample — check empty() first when
+  /// the distinction matters.
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
   double sum() const { return sum_; }

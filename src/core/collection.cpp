@@ -48,12 +48,21 @@ void CollectionState::begin_phase(std::uint64_t phase_start) {
   phase_end_ = grab_end_ + cfg_.rc.alarm_rounds;
   window_index_ = 0;
   alarm_started_ = false;
+  if (cfg_.observer != nullptr) {
+    cfg_.observer->on_collection_phase_begin(
+        phase_index_, estimate_, cfg_.observer_round_offset + phase_start_);
+  }
   begin_window(0);
 }
 
 void CollectionState::begin_window(std::size_t window_index) {
   RC_ASSERT(window_index < windows_.size());
   const GatherWindow& w = windows_[window_index];
+  if (cfg_.observer != nullptr) {
+    cfg_.observer->on_collection_epoch(
+        w.copies > 1 ? "mspg" : "ospg", w.slots, w.copies,
+        cfg_.observer_round_offset + phase_start_ + w.start);
+  }
   start_schedule_.clear();
   relay_packet_.reset();
   relay_ack_.reset();
@@ -76,7 +85,12 @@ void CollectionState::advance(std::uint64_t rel_round) {
   while (!finished_) {
     if (rel_round >= phase_end_) {
       // Phase boundary: alarm outcome decides between doubling and ending.
-      if (alarm_started_ && alarm_.positive()) {
+      const bool alarmed = alarm_started_ && alarm_.positive();
+      if (cfg_.observer != nullptr) {
+        cfg_.observer->on_collection_phase_end(
+            cfg_.observer_round_offset + phase_end_, alarmed);
+      }
+      if (alarmed) {
         estimate_ *= 2;
         ++phase_index_;
         begin_phase(phase_end_);
@@ -91,6 +105,10 @@ void CollectionState::advance(std::uint64_t rel_round) {
       if (!alarm_started_) {
         alarm_started_ = true;
         alarm_.reset(!is_root_ && acked_count_ < own_packets_.size());
+        if (cfg_.observer != nullptr) {
+          cfg_.observer->on_collection_epoch(
+              "alarm", 0, 0, cfg_.observer_round_offset + grab_end_);
+        }
       }
       return;
     }

@@ -26,6 +26,7 @@
 
 #include "common/rng.hpp"
 #include "core/schedule.hpp"
+#include "obs/observer.hpp"
 #include "protocols/alarm.hpp"
 #include "radio/knowledge.hpp"
 #include "radio/node.hpp"
@@ -36,6 +37,13 @@ class CollectionState {
  public:
   struct Config {
     ResolvedConfig rc;
+    /// Optional flight recorder fed at phase and epoch boundaries (set on
+    /// the observed node only; stage schedules are global, so one node's
+    /// boundaries are the run's).
+    obs::RunObserver* observer = nullptr;
+    /// Absolute round of this stage's start — converts the relative rounds
+    /// this state machine runs on into run-global rounds for the observer.
+    std::uint64_t observer_round_offset = 0;
   };
 
   /// `parent` is this node's BFS parent (nullopt if the node never joined

@@ -45,6 +45,8 @@ void KBroadcastNode::ensure_stage(radio::Round round) {
   }
   if (round >= stage3_start_ && !collection_.has_value()) {
     CollectionState::Config cfg{rc_};
+    cfg.observer = observer_;
+    cfg.observer_round_offset = stage3_start_;
     std::optional<radio::NodeId> parent;
     const bool is_root = leader_.is_leader();
     if (!is_root && bfs_.has_value() && bfs_->has_distance()) {
@@ -68,7 +70,31 @@ void KBroadcastNode::ensure_stage(radio::Round round) {
   }
 }
 
+void KBroadcastNode::report_stage(radio::Round round) {
+  if (observer_ == nullptr) return;
+  const Stage s = stage_for(round);
+  if (reported_stage_.has_value() && *reported_stage_ == s) return;
+  reported_stage_ = s;
+  switch (s) {
+    case Stage::kLeader:
+      observer_->on_stage(1, "stage1.leader", 0);
+      return;
+    case Stage::kBfs:
+      observer_->on_stage(2, "stage2.bfs", stage2_start_);
+      return;
+    case Stage::kCollection:
+      observer_->on_stage(3, "stage3.collection", stage3_start_);
+      return;
+    case Stage::kDissemination:
+      observer_->on_stage(4, "stage4.dissemination", stage3_end_);
+      return;
+  }
+}
+
 std::optional<radio::MessageBody> KBroadcastNode::on_transmit(radio::Round round) {
+  // Report before ensure_stage: entering Stage 3 constructs CollectionState,
+  // whose phase/epoch hooks must nest inside the already-open stage span.
+  report_stage(round);
   ensure_stage(round);
   switch (stage_for(round)) {
     case Stage::kLeader:
@@ -82,6 +108,7 @@ std::optional<radio::MessageBody> KBroadcastNode::on_transmit(radio::Round round
       ensure_stage(round);
       if (stage_for(round) == Stage::kDissemination) {
         RC_ASSERT(!msg.has_value());
+        report_stage(round);
         return dissemination_->on_transmit(round - stage3_end_);
       }
       return msg;
@@ -93,6 +120,7 @@ std::optional<radio::MessageBody> KBroadcastNode::on_transmit(radio::Round round
 }
 
 void KBroadcastNode::on_receive(radio::Round round, const radio::Message& msg) {
+  report_stage(round);
   ensure_stage(round);
   switch (stage_for(round)) {
     case Stage::kLeader:
@@ -107,6 +135,7 @@ void KBroadcastNode::on_receive(radio::Round round, const radio::Message& msg) {
       // Boundary round: the message kinds of the two stages are disjoint,
       // so re-offering the message to Stage 4 cannot double-process it.
       if (stage_for(round) == Stage::kDissemination) {
+        report_stage(round);
         dissemination_->on_receive(round - stage3_end_, msg);
       }
       return;

@@ -57,6 +57,12 @@ class KBroadcastNode final : public radio::NodeProtocol {
   /// Absolute round at which this node's Stage 3 ended (0 if not yet).
   radio::Round stage3_end() const { return stage3_end_; }
 
+  /// Attaches a flight recorder: this node reports its stage transitions
+  /// (and, via CollectionState, phase/epoch boundaries) to the observer.
+  /// Wire it on one node only — the runner picks the expected leader,
+  /// whose schedule view is the run's. Must be set before the run starts.
+  void set_observer(obs::RunObserver* observer) { observer_ = observer; }
+
   /// All packets this node holds at the moment of the call.
   std::vector<radio::Packet> delivered_packets() const;
 
@@ -65,6 +71,10 @@ class KBroadcastNode final : public radio::NodeProtocol {
   Stage stage_for(radio::Round round) const;
   /// Creates stage state lazily when the schedule crosses a boundary.
   void ensure_stage(radio::Round round);
+  /// Reports a stage transition to the observer, once per stage, stamped
+  /// with the schedule's boundary round (not the observation round) so
+  /// stage spans tile the run exactly.
+  void report_stage(radio::Round round);
 
   ResolvedConfig rc_;
   radio::NodeId self_;
@@ -79,6 +89,10 @@ class KBroadcastNode final : public radio::NodeProtocol {
   std::optional<protocols::BfsBuildState> bfs_;
   std::optional<CollectionState> collection_;
   std::optional<DisseminationState> dissemination_;
+
+  obs::RunObserver* observer_ = nullptr;
+  /// Last stage reported to the observer (none before the first report).
+  std::optional<Stage> reported_stage_;
 };
 
 }  // namespace radiocast::core

@@ -73,7 +73,8 @@ bool holds_all(std::vector<radio::Packet> got, const std::vector<radio::Packet>&
 
 RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
                          const Placement& placement, std::uint64_t seed,
-                         std::uint64_t max_rounds, const radio::FaultModel& faults) {
+                         std::uint64_t max_rounds, const radio::FaultModel& faults,
+                         obs::RunObserver* observer) {
   RC_ASSERT(g.finalized());
   RC_ASSERT(placement.size() == g.num_nodes());
   const ResolvedConfig rc = resolve(cfg);
@@ -94,12 +95,22 @@ RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
 
   if (max_rounds == 0) max_rounds = total_rounds_bound(result.k, rc);
 
+  // The expected leader (max-id packet holder) doubles as the observed
+  // node: its stage schedule is the run's schedule w.h.p.
+  radio::NodeId expected_leader = 0;
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!placement[v].empty()) expected_leader = std::max(expected_leader, v);
+  }
+
   radio::Network net(g);
   if (faults.reception_loss_probability > 0.0) net.set_fault_model(faults);
+  net.set_observer(observer);
   Rng master(seed);
   for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
     Rng child = master.split();
-    net.set_protocol(v, std::make_unique<KBroadcastNode>(rc, v, placement[v], child));
+    auto node = std::make_unique<KBroadcastNode>(rc, v, placement[v], child);
+    if (observer != nullptr && v == expected_leader) node->set_observer(observer);
+    net.set_protocol(v, std::move(node));
     if (!placement[v].empty()) net.wake_at_start(v);
   }
 
@@ -107,12 +118,12 @@ RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
   result.timed_out = !all_done;
   result.total_rounds = net.current_round();
   result.counters = net.trace().counters();
+  if (observer != nullptr) {
+    observer->finish(result.total_rounds);
+    result.metrics = observer->metrics_snapshot();
+  }
 
   // --- Verification against ground truth ---
-  radio::NodeId expected_leader = 0;
-  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (!placement[v].empty()) expected_leader = std::max(expected_leader, v);
-  }
   std::uint32_t leaders = 0;
   bool leader_is_expected = false;
   const graph::BfsResult truth_bfs = graph::bfs(g, expected_leader);

@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "core/params.hpp"
 #include "graph/graph.hpp"
+#include "obs/observer.hpp"
 #include "radio/message.hpp"
 #include "radio/network.hpp"
 #include "radio/trace.hpp"
@@ -59,6 +60,11 @@ struct RunResult {
 
   radio::TraceCounters counters;
 
+  /// Flight-recorder metrics snapshot — filled only when an observer was
+  /// passed to run_kbroadcast (empty otherwise). Span data stays on the
+  /// observer itself (ask it for spans() / feed it to obs::write_*).
+  obs::MetricsSnapshot metrics;
+
   double amortized_rounds_per_packet() const {
     return k == 0 ? 0.0 : static_cast<double>(total_rounds) / static_cast<double>(k);
   }
@@ -67,9 +73,14 @@ struct RunResult {
 /// Runs the paper's protocol (or its uncoded variant, per cfg.coded).
 /// `max_rounds` == 0 derives a generous bound from the schedule. `faults`
 /// optionally injects external interference (see radio::FaultModel).
+/// `observer`, when non-null, records the run's span tree (stages >
+/// collection phases > OSPG/MSPG/ALARM epochs) and labelled metrics; the
+/// runner wires it to the network and to the expected leader's protocol,
+/// closes all spans at the end, and copies the metrics into the result.
 RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
                          const Placement& placement, std::uint64_t seed,
                          std::uint64_t max_rounds = 0,
-                         const radio::FaultModel& faults = {});
+                         const radio::FaultModel& faults = {},
+                         obs::RunObserver* observer = nullptr);
 
 }  // namespace radiocast::core

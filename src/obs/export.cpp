@@ -1,0 +1,122 @@
+#include "obs/export.hpp"
+
+#include "obs/json.hpp"
+#include "obs/observer.hpp"
+
+namespace radiocast::obs {
+
+namespace {
+
+void write_labels(JsonWriter& w, const LabelSet& labels) {
+  w.key("labels").begin_object();
+  for (const auto& [k, v] : labels) w.kv(k, v);
+  w.end_object();
+}
+
+void write_attrs(JsonWriter& w, std::string_view key,
+                 const std::vector<SpanAttr>& attrs) {
+  w.key(key).begin_object();
+  for (const SpanAttr& a : attrs) w.kv(a.key, a.value);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_spans_jsonl(std::ostream& out, const std::vector<Span>& spans) {
+  for (const Span& s : spans) {
+    JsonWriter w(out);
+    w.begin_object()
+        .kv("type", "span")
+        .kv("id", s.id)
+        .kv("parent", s.parent_id)
+        .kv("depth", s.depth)
+        .kv("cat", s.category)
+        .kv("name", s.name)
+        .kv("begin", s.begin_round)
+        .kv("end", s.end_round)
+        .kv("rounds", s.duration())
+        .kv("closed", s.closed);
+    write_attrs(w, "attrs", s.attrs);
+    w.end_object().newline();
+  }
+}
+
+void write_metrics_jsonl(std::ostream& out, const MetricsSnapshot& metrics) {
+  for (const MetricSample& m : metrics) {
+    JsonWriter w(out);
+    w.begin_object();
+    switch (m.type) {
+      case MetricSample::Type::kCounter:
+        w.kv("type", "counter").kv("name", m.name);
+        write_labels(w, m.labels);
+        w.kv("value", static_cast<std::uint64_t>(m.value));
+        break;
+      case MetricSample::Type::kGauge:
+        w.kv("type", "gauge").kv("name", m.name);
+        write_labels(w, m.labels);
+        w.kv("value", m.value);
+        break;
+      case MetricSample::Type::kHistogram: {
+        w.kv("type", "histogram").kv("name", m.name);
+        write_labels(w, m.labels);
+        w.kv("count", m.count).kv("sum", m.value);
+        w.key("bounds").begin_array();
+        for (const double b : m.bounds) w.value(b);
+        w.end_array();
+        w.key("counts").begin_array();
+        for (const std::uint64_t c : m.counts) w.value(c);
+        w.end_array();
+        break;
+      }
+    }
+    w.end_object().newline();
+  }
+}
+
+void write_run_jsonl(std::ostream& out, const RunObserver& observer,
+                     std::uint64_t total_rounds) {
+  {
+    JsonWriter w(out);
+    w.begin_object()
+        .kv("type", "run")
+        .kv("total_rounds", total_rounds)
+        .kv("dropped_spans", observer.recorder().dropped_spans())
+        .kv("sampled_out_spans", observer.recorder().sampled_out_spans())
+        .end_object()
+        .newline();
+  }
+  write_spans_jsonl(out, observer.spans());
+  write_metrics_jsonl(out, observer.metrics_snapshot());
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<Span>& spans) {
+  JsonWriter w(out);
+  w.begin_object().key("traceEvents").begin_array();
+  // Process-name metadata event, so the track has a readable title.
+  w.begin_object()
+      .kv("name", "process_name")
+      .kv("ph", "M")
+      .kv("pid", std::uint64_t{1})
+      .key("args")
+      .begin_object()
+      .kv("name", "radiocast")
+      .end_object()
+      .end_object();
+  for (const Span& s : spans) {
+    w.begin_object()
+        .kv("name", s.name)
+        .kv("cat", s.category)
+        .kv("ph", "X")
+        .kv("ts", s.begin_round)
+        .kv("dur", s.duration())
+        .kv("pid", std::uint64_t{1})
+        .kv("tid", std::uint64_t{1});
+    // trace_event puts per-event payload under "args".
+    write_attrs(w, "args", s.attrs);
+    w.end_object();
+  }
+  w.end_array().kv("displayTimeUnit", "ms").end_object();
+  out << '\n';
+}
+
+}  // namespace radiocast::obs

@@ -1,0 +1,33 @@
+// Exporters for the flight recorder: JSONL (one record per line, easy to
+// grep/jq) and Chrome trace_event JSON (open in chrome://tracing or
+// https://ui.perfetto.dev). See docs/observability.md for the formats.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+
+namespace radiocast::obs {
+
+class RunObserver;
+
+/// JSONL: one `{"type":"span",...}` line per span (in snapshot order) and
+/// one `{"type":"counter"|"gauge"|"histogram",...}` line per metric.
+void write_spans_jsonl(std::ostream& out, const std::vector<Span>& spans);
+void write_metrics_jsonl(std::ostream& out, const MetricsSnapshot& metrics);
+
+/// Everything the observer captured, preceded by a `{"type":"run",...}`
+/// header line carrying `total_rounds`.
+void write_run_jsonl(std::ostream& out, const RunObserver& observer,
+                     std::uint64_t total_rounds);
+
+/// Chrome trace_event format: each span becomes a complete ("ph":"X")
+/// event with ts/dur in simulation rounds (1 round = 1 "microsecond");
+/// span attributes land in "args". One metadata event names the process
+/// "radiocast". The file opens directly in chrome://tracing and Perfetto.
+void write_chrome_trace(std::ostream& out, const std::vector<Span>& spans);
+
+}  // namespace radiocast::obs

@@ -1,0 +1,67 @@
+// Minimal streaming JSON writer shared by the observability exporters and
+// the bench JSON reports.
+//
+// The writer emits syntactically valid JSON to any std::ostream with no
+// intermediate document tree: objects and arrays are opened/closed
+// explicitly and commas are inserted automatically. Numbers are printed in
+// a locale-independent, round-trippable form so golden-output tests can
+// compare bytes.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace radiocast::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes added).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes the key of the next object member. Must be inside an object.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(std::int32_t v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// Ends the current line (for JSONL output between top-level values).
+  JsonWriter& newline();
+
+ private:
+  /// Placed before any value or key: emits "," unless this is the first
+  /// element of the enclosing container.
+  void separator();
+
+  std::ostream& out_;
+  /// One entry per open container: true once it has at least one element.
+  std::vector<bool> has_element_;
+  /// True immediately after key() — the next value is a member value and
+  /// must not emit a separator.
+  bool after_key_ = false;
+};
+
+}  // namespace radiocast::obs

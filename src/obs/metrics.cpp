@@ -1,0 +1,111 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace radiocast::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  RC_ASSERT_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bounds must be sorted ascending");
+  counts_.assign(bounds_.size() + 1, 0);  // +1: overflow bucket
+}
+
+void Histogram::observe(double x) {
+  ++count_;
+  sum_ += x;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+}
+
+std::vector<double> Histogram::pow2_bounds(std::uint32_t max_exponent) {
+  std::vector<double> b;
+  b.push_back(0.0);
+  for (std::uint32_t e = 0; e <= max_exponent; ++e) {
+    b.push_back(static_cast<double>(std::uint64_t{1} << e));
+  }
+  return b;
+}
+
+namespace {
+
+std::string instrument_key(std::string_view name, LabelSet& labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '|';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+MetricsRegistry::Instrument& MetricsRegistry::find_or_create(std::string_view name,
+                                                             LabelSet labels) {
+  const std::string key = instrument_key(name, labels);
+  auto [it, inserted] = instruments_.try_emplace(key);
+  if (inserted) {
+    it->second.name = std::string(name);
+    it->second.labels = std::move(labels);
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, LabelSet labels) {
+  Instrument& inst = find_or_create(name, std::move(labels));
+  RC_ASSERT_MSG(!inst.gauge && !inst.histogram,
+                "metric already registered with a different type");
+  if (!inst.counter) inst.counter = std::make_unique<Counter>();
+  return *inst.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, LabelSet labels) {
+  Instrument& inst = find_or_create(name, std::move(labels));
+  RC_ASSERT_MSG(!inst.counter && !inst.histogram,
+                "metric already registered with a different type");
+  if (!inst.gauge) inst.gauge = std::make_unique<Gauge>();
+  return *inst.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, LabelSet labels,
+                                      std::vector<double> bounds) {
+  Instrument& inst = find_or_create(name, std::move(labels));
+  RC_ASSERT_MSG(!inst.counter && !inst.gauge,
+                "metric already registered with a different type");
+  if (!inst.histogram) inst.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *inst.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  out.reserve(instruments_.size());
+  // std::map iteration order == key order == (name, sorted labels): the
+  // snapshot is deterministic, which the golden-output tests rely on.
+  for (const auto& [key, inst] : instruments_) {
+    MetricSample s;
+    s.name = inst.name;
+    s.labels = inst.labels;
+    if (inst.counter) {
+      s.type = MetricSample::Type::kCounter;
+      s.value = static_cast<double>(inst.counter->value());
+    } else if (inst.gauge) {
+      s.type = MetricSample::Type::kGauge;
+      s.value = inst.gauge->value();
+    } else {
+      RC_ASSERT(inst.histogram != nullptr);
+      s.type = MetricSample::Type::kHistogram;
+      s.value = inst.histogram->sum();
+      s.bounds = inst.histogram->bounds();
+      s.counts = inst.histogram->counts();
+      s.count = inst.histogram->count();
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace radiocast::obs

@@ -1,0 +1,126 @@
+// Labelled metrics registry — the counter/gauge/histogram half of the
+// flight recorder (docs/observability.md).
+//
+// Metrics are identified by a name plus a small set of key=value labels
+// (stage, phase, epoch, message kind, ...). Lookup canonicalizes the label
+// order, so `{"kind","data"},{"stage","s3"}` and the reverse address the
+// same instrument. Instrument references returned by the registry are
+// stable for the registry's lifetime — hot paths look an instrument up
+// once and keep the pointer (see obs::RunObserver).
+//
+// The registry is deliberately simulation-agnostic: it depends on nothing
+// above `common/`, so both the radio engine and the protocol layer can
+// feed it without dependency cycles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace radiocast::obs {
+
+/// An (ordered) set of key=value labels. Kept tiny: metrics in this
+/// library carry at most three labels.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins floating point metric.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// first N buckets; one implicit overflow bucket catches the rest. Bounds
+/// are fixed at creation — there is no rebucketing, so observation is O(#buckets)
+/// worst case and allocation-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// counts()[i] observations fell in bucket i; counts().back() is the
+  /// overflow bucket (x > bounds().back()).
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+  /// Default bucket edges for per-round event counts: 0,1,2,4,...,2^13.
+  static std::vector<double> pow2_bounds(std::uint32_t max_exponent = 13);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// One exported metric in a snapshot (plain data, safe to copy into
+/// RunResult after the registry is gone).
+struct MetricSample {
+  enum class Type { kCounter, kGauge, kHistogram };
+  Type type = Type::kCounter;
+  std::string name;
+  LabelSet labels;
+  double value = 0.0;  ///< counter/gauge value; histogram sum
+  // Histogram-only payload.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+};
+
+/// Deterministically ordered (by name, then labels) set of samples.
+using MetricsSnapshot = std::vector<MetricSample>;
+
+class MetricsRegistry {
+ public:
+  /// Returns the instrument for (name, labels), creating it on first use.
+  /// References stay valid until the registry is destroyed.
+  Counter& counter(std::string_view name, LabelSet labels = {});
+  Gauge& gauge(std::string_view name, LabelSet labels = {});
+  /// `bounds` applies only on first creation; later lookups with the same
+  /// key return the existing histogram unchanged.
+  Histogram& histogram(std::string_view name, LabelSet labels,
+                       std::vector<double> bounds);
+
+  std::size_t size() const { return instruments_.size(); }
+
+  /// Copies every instrument into plain data, ordered by (name, labels).
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Instrument {
+    std::string name;
+    LabelSet labels;
+    // Exactly one of these is set, per MetricSample::Type.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Instrument& find_or_create(std::string_view name, LabelSet labels);
+
+  /// Keyed by "name|k1=v1|k2=v2" with labels sorted by key.
+  std::map<std::string, Instrument> instruments_;
+};
+
+}  // namespace radiocast::obs

@@ -1,0 +1,137 @@
+#include "obs/observer.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace radiocast::obs {
+
+RunObserver::RunObserver(Options opts)
+    : opts_(std::move(opts)), recorder_(opts_.recorder) {}
+
+void RunObserver::rebind_stage_instruments() {
+  const LabelSet stage_label = {{"stage", stage_name_}};
+  rounds_ = &metrics_.counter("sim.rounds", stage_label);
+  transmissions_ = &metrics_.counter("sim.transmissions", stage_label);
+  deliveries_ = &metrics_.counter("sim.deliveries", stage_label);
+  collisions_ = &metrics_.counter("sim.collision_slots", stage_label);
+  deaf_ = &metrics_.counter("sim.deaf_slots", stage_label);
+  fault_drops_ = &metrics_.counter("sim.fault_drops", stage_label);
+  wakeups_ = &metrics_.counter("sim.wakeups", stage_label);
+  if (opts_.round_histograms) {
+    tx_per_round_ = &metrics_.histogram("sim.transmissions_per_round", stage_label,
+                                        Histogram::pow2_bounds());
+    rx_per_round_ = &metrics_.histogram("sim.deliveries_per_round", stage_label,
+                                        Histogram::pow2_bounds());
+  }
+  tx_by_kind_.clear();
+  rx_by_kind_.clear();
+  if (opts_.per_kind_metrics) {
+    for (const std::string& kind : kind_names_) {
+      const LabelSet kl = {{"stage", stage_name_}, {"kind", kind}};
+      tx_by_kind_.push_back(&metrics_.counter("sim.transmissions", kl));
+      rx_by_kind_.push_back(&metrics_.counter("sim.deliveries", kl));
+    }
+  }
+}
+
+void RunObserver::on_round(const RoundStats& stats) {
+  last_round_seen_ = stats.round;
+  if (stage_name_.empty()) {
+    // Rounds before the first stage hook (e.g. no observer-wired protocol):
+    // attribute to a catch-all stage so nothing is silently lost.
+    stage_name_ = "unattributed";
+    rebind_stage_instruments();
+  }
+  if (kind_names_.empty() && stats.num_kinds > 0) {
+    kind_names_.assign(stats.kind_names, stats.kind_names + stats.num_kinds);
+    rebind_stage_instruments();
+  }
+  rounds_->inc();
+  transmissions_->inc(stats.transmissions);
+  deliveries_->inc(stats.deliveries);
+  collisions_->inc(stats.collision_slots);
+  deaf_->inc(stats.deaf_slots);
+  fault_drops_->inc(stats.fault_drops);
+  wakeups_->inc(stats.wakeups);
+  if (tx_per_round_ != nullptr) {
+    tx_per_round_->observe(static_cast<double>(stats.transmissions));
+    rx_per_round_->observe(static_cast<double>(stats.deliveries));
+  }
+  if (!tx_by_kind_.empty()) {
+    RC_ASSERT(tx_by_kind_.size() == stats.num_kinds);
+    for (std::size_t i = 0; i < stats.num_kinds; ++i) {
+      // Skip untouched kinds: most rounds carry one kind of traffic.
+      if (stats.transmissions_by_kind[i] != 0) {
+        tx_by_kind_[i]->inc(stats.transmissions_by_kind[i]);
+      }
+      if (stats.deliveries_by_kind[i] != 0) {
+        rx_by_kind_[i]->inc(stats.deliveries_by_kind[i]);
+      }
+    }
+  }
+}
+
+void RunObserver::close_epoch(std::uint64_t round) {
+  if (epoch_span_ != 0) {
+    recorder_.close(epoch_span_, round);
+    epoch_span_ = 0;
+  }
+}
+
+void RunObserver::close_phase(std::uint64_t round) {
+  close_epoch(round);
+  if (phase_span_ != 0) {
+    recorder_.close(phase_span_, round);
+    phase_span_ = 0;
+  }
+}
+
+void RunObserver::close_stage(std::uint64_t round) {
+  close_phase(round);
+  if (stage_span_ != 0) {
+    recorder_.close(stage_span_, round);
+    stage_span_ = 0;
+  }
+}
+
+void RunObserver::on_stage(std::uint32_t stage_index, const char* name,
+                           std::uint64_t round) {
+  close_stage(round);
+  stage_name_ = name;
+  stage_span_ = recorder_.open(name, "stage", round, {{"stage", stage_index}});
+  rebind_stage_instruments();
+}
+
+void RunObserver::on_collection_phase_begin(std::uint32_t phase_index,
+                                            std::uint64_t estimate,
+                                            std::uint64_t round) {
+  close_phase(round);
+  phase_span_ = recorder_.open("phase", "phase", round,
+                               {{"phase", phase_index}, {"estimate", estimate}});
+  metrics_.gauge("collection.estimate").set(static_cast<double>(estimate));
+  metrics_.counter("collection.phases").inc();
+}
+
+void RunObserver::on_collection_epoch(const char* kind, std::uint64_t slots,
+                                      std::uint32_t copies, std::uint64_t round) {
+  close_epoch(round);
+  std::vector<SpanAttr> attrs;
+  if (slots != 0) attrs.push_back({"slots", slots});
+  if (copies > 1) attrs.push_back({"copies", copies});
+  epoch_span_ = recorder_.open(kind, "epoch", round, std::move(attrs));
+  metrics_.counter("collection.epochs", {{"epoch", kind}}).inc();
+}
+
+void RunObserver::on_collection_phase_end(std::uint64_t round, bool alarmed) {
+  if (phase_span_ != 0) {
+    recorder_.add_attr(phase_span_, "alarmed", alarmed ? 1 : 0);
+  }
+  close_phase(round);
+}
+
+void RunObserver::finish(std::uint64_t end_round) {
+  close_stage(end_round);
+}
+
+}  // namespace radiocast::obs

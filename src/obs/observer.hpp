@@ -1,0 +1,131 @@
+// RunObserver — the flight recorder's sink, wired through an end-to-end
+// run (core::run_kbroadcast) when observability is requested.
+//
+// Two producers feed it:
+//   * radio::Network::step calls on_round() once per round with that
+//     round's channel-activity deltas (allocation-free: the stats struct
+//     points into scratch arrays owned by the network);
+//   * the k-broadcast protocol state machines (on the expected leader
+//     node only — stage schedules are global, so one node's view is the
+//     run's view) call the on_stage / on_collection_* hooks at stage
+//     transitions, collection-phase boundaries (each doubling of the
+//     estimate x), and OSPG/MSPG/ALARM epoch boundaries.
+//
+// The observer turns these into (a) a hierarchical span tree
+// stage > phase > epoch whose sibling spans tile their parent exactly —
+// per-epoch round counts sum to the run's total_rounds — and (b) labelled
+// metrics: per-stage round/transmission/delivery/collision counters split
+// by message kind, plus per-round activity histograms.
+//
+// This header depends only on metrics.hpp/recorder.hpp (std-only), so the
+// radio layer can include it without a dependency cycle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+
+namespace radiocast::obs {
+
+/// One round's channel activity, reported by the simulation engine. The
+/// per-kind arrays are parallel to `kind_names` and live in scratch owned
+/// by the caller — valid only for the duration of on_round().
+struct RoundStats {
+  std::uint64_t round = 0;
+  std::uint32_t transmissions = 0;
+  std::uint32_t deliveries = 0;
+  std::uint32_t collision_slots = 0;
+  std::uint32_t deaf_slots = 0;
+  std::uint32_t fault_drops = 0;
+  std::uint32_t wakeups = 0;
+  std::size_t num_kinds = 0;
+  const char* const* kind_names = nullptr;
+  const std::uint32_t* transmissions_by_kind = nullptr;
+  const std::uint32_t* deliveries_by_kind = nullptr;
+};
+
+class RunObserver {
+ public:
+  struct Options {
+    SpanRecorder::Options recorder;
+    /// Split per-stage transmission/delivery counters by message kind.
+    bool per_kind_metrics = true;
+    /// Record per-round transmission/delivery histograms per stage.
+    bool round_histograms = true;
+  };
+
+  RunObserver() : RunObserver(Options{}) {}
+  explicit RunObserver(Options opts);
+
+  // --- Fed by radio::Network (every round) ---
+  void on_round(const RoundStats& stats);
+
+  // --- Fed by the protocol state machines (leader node) ---
+  /// A new stage begins at `round`; closes the previous stage (and any
+  /// open phase/epoch spans). `stage_index` is 1-based.
+  void on_stage(std::uint32_t stage_index, const char* name, std::uint64_t round);
+  /// A Stage-3 collection phase begins with estimate x.
+  void on_collection_phase_begin(std::uint32_t phase_index, std::uint64_t estimate,
+                                 std::uint64_t round);
+  /// An epoch within the current phase begins ("ospg", "mspg", "alarm");
+  /// closes the previous epoch. `slots`/`copies` describe the gather
+  /// window (0 for alarm epochs).
+  void on_collection_epoch(const char* kind, std::uint64_t slots,
+                           std::uint32_t copies, std::uint64_t round);
+  /// The current phase ends; `alarmed` is the alarm outcome that decides
+  /// between doubling and finishing.
+  void on_collection_phase_end(std::uint64_t round, bool alarmed);
+
+  /// Closes every span still open (the run is over at `end_round`).
+  void finish(std::uint64_t end_round);
+
+  // --- Results ---
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  SpanRecorder& recorder() { return recorder_; }
+  const SpanRecorder& recorder() const { return recorder_; }
+
+  std::vector<Span> spans() const { return recorder_.snapshot(); }
+  MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
+
+  /// Name of the stage currently open ("" before the first on_stage).
+  const std::string& current_stage() const { return stage_name_; }
+
+ private:
+  /// Re-resolves the cached per-stage instrument pointers (called on every
+  /// stage transition; lookups are off the per-round hot path).
+  void rebind_stage_instruments();
+  void close_epoch(std::uint64_t round);
+  void close_phase(std::uint64_t round);
+  void close_stage(std::uint64_t round);
+
+  Options opts_;
+  MetricsRegistry metrics_;
+  SpanRecorder recorder_;
+
+  std::string stage_name_;
+  std::uint64_t stage_span_ = 0;
+  std::uint64_t phase_span_ = 0;
+  std::uint64_t epoch_span_ = 0;
+  std::uint64_t last_round_seen_ = 0;
+
+  // Hot-path instrument cache, rebound per stage.
+  Counter* rounds_ = nullptr;
+  Counter* transmissions_ = nullptr;
+  Counter* deliveries_ = nullptr;
+  Counter* collisions_ = nullptr;
+  Counter* deaf_ = nullptr;
+  Counter* fault_drops_ = nullptr;
+  Counter* wakeups_ = nullptr;
+  Histogram* tx_per_round_ = nullptr;
+  Histogram* rx_per_round_ = nullptr;
+  std::vector<Counter*> tx_by_kind_;
+  std::vector<Counter*> rx_by_kind_;
+  std::vector<std::string> kind_names_;
+};
+
+}  // namespace radiocast::obs

@@ -39,11 +39,15 @@ std::string message_kind(const MessageBody& body) {
   return std::visit(KindVisitor{}, body);
 }
 
+const std::array<const char*, kNumMessageKinds>& message_kind_names() {
+  static const std::array<const char*, kNumMessageKinds> kNames = {
+      "bfs", "alarm", "data", "ack", "plain", "coded"};
+  return kNames;
+}
+
 std::string message_kind_name(std::size_t kind_index) {
-  static const char* kNames[kNumMessageKinds] = {"bfs",  "alarm", "data",
-                                                 "ack",  "plain", "coded"};
   RC_ASSERT(kind_index < kNumMessageKinds);
-  return kNames[kind_index];
+  return message_kind_names()[kind_index];
 }
 
 }  // namespace radiocast::radio

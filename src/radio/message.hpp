@@ -10,6 +10,7 @@
 // accumulates these so benches can report bit-cost as well as round-cost.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <variant>
@@ -110,5 +111,9 @@ inline std::size_t message_kind_index(const MessageBody& body) {
 
 /// Name for a kind index (same tags as message_kind).
 std::string message_kind_name(std::size_t kind_index);
+
+/// The same names as static storage — one `const char*` per kind, indexed
+/// by variant alternative. Used by allocation-free instrumentation paths.
+const std::array<const char*, kNumMessageKinds>& message_kind_names();
 
 }  // namespace radiocast::radio

@@ -63,7 +63,36 @@ void Network::wake(NodeId id) {
   }
 }
 
+void Network::report_round(std::uint64_t round) {
+  const TraceCounters& now = trace_.counters();
+  obs::RoundStats stats;
+  stats.round = round;
+  stats.transmissions =
+      static_cast<std::uint32_t>(now.transmissions - round_base_.transmissions);
+  stats.deliveries =
+      static_cast<std::uint32_t>(now.deliveries - round_base_.deliveries);
+  stats.collision_slots =
+      static_cast<std::uint32_t>(now.collision_slots - round_base_.collision_slots);
+  stats.deaf_slots =
+      static_cast<std::uint32_t>(now.deaf_slots - round_base_.deaf_slots);
+  stats.fault_drops =
+      static_cast<std::uint32_t>(now.fault_drops - round_base_.fault_drops);
+  stats.wakeups = static_cast<std::uint32_t>(now.wakeups - round_base_.wakeups);
+  for (std::size_t i = 0; i < kNumMessageKinds; ++i) {
+    round_tx_by_kind_[i] = static_cast<std::uint32_t>(
+        now.transmissions_by_kind[i] - round_base_.transmissions_by_kind[i]);
+    round_rx_by_kind_[i] = static_cast<std::uint32_t>(
+        now.deliveries_by_kind[i] - round_base_.deliveries_by_kind[i]);
+  }
+  stats.num_kinds = kNumMessageKinds;
+  stats.kind_names = message_kind_names().data();
+  stats.transmissions_by_kind = round_tx_by_kind_.data();
+  stats.deliveries_by_kind = round_rx_by_kind_.data();
+  observer_->on_round(stats);
+}
+
 void Network::step() {
+  if (observer_ != nullptr) round_base_ = trace_.counters();
   if (!started_) {
     started_ = true;
     for (NodeId id : pending_initial_wakes_) {
@@ -140,6 +169,7 @@ void Network::step() {
   touched_.clear();
   for (const Transmission& tx : transmissions_) transmitting_[tx.from] = 0;
 
+  if (observer_ != nullptr) report_round(round_);
   ++round_;
   ++trace_.counters().rounds;
 }

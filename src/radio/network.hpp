@@ -17,6 +17,7 @@
 
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
+#include "obs/observer.hpp"
 #include "radio/node.hpp"
 #include "radio/trace.hpp"
 
@@ -84,8 +85,17 @@ class Network {
   Trace& trace() { return trace_; }
   const Trace& trace() const { return trace_; }
 
+  /// Attaches a flight-recorder sink (nullptr detaches). When attached,
+  /// step() reports every round's channel-activity deltas via
+  /// obs::RunObserver::on_round; when detached the only per-round cost is
+  /// one branch. The observer must outlive the network (or be detached).
+  void set_observer(obs::RunObserver* observer) { observer_ = observer; }
+  obs::RunObserver* observer() const { return observer_; }
+
  private:
   void wake(NodeId id);
+  /// Fills round_stats_ with this round's deltas and feeds the observer.
+  void report_round(std::uint64_t round);
 
   const graph::Graph& graph_;
   std::vector<std::unique_ptr<NodeProtocol>> protocols_;
@@ -100,6 +110,15 @@ class Network {
   FaultModel fault_model_;
   Rng fault_rng_;
   bool collision_detection_ = false;
+
+  obs::RunObserver* observer_ = nullptr;
+  /// Counter values at the start of the current round; the per-round
+  /// deltas reported to the observer are computed against these.
+  TraceCounters round_base_;
+  /// Scratch per-kind delta arrays pointed to by the RoundStats we pass
+  /// to the observer (keeps on_round allocation-free).
+  std::array<std::uint32_t, kNumMessageKinds> round_tx_by_kind_{};
+  std::array<std::uint32_t, kNumMessageKinds> round_rx_by_kind_{};
 
   // Scratch buffers reused across rounds to avoid per-round allocation.
   struct Transmission {

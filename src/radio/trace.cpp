@@ -3,12 +3,19 @@
 namespace radiocast::radio {
 
 void Trace::record(TraceEvent event) {
-  if (events_enabled_) events_.push_back(std::move(event));
+  if (!events_enabled_) return;
+  if (events_.size() >= max_events_) {
+    ++dropped_events_;
+    return;
+  }
+  events_.push_back(std::move(event));
 }
 
 void Trace::clear() {
   counters_ = TraceCounters{};
   events_.clear();
+  dropped_events_ = 0;
+  // events_enabled_ and max_events_ survive: they are configuration.
 }
 
 }  // namespace radiocast::radio

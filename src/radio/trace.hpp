@@ -47,11 +47,23 @@ struct TraceEvent {
 
 class Trace {
  public:
+  /// Default cap on the event log. A long end-to-end run produces one
+  /// event per reception opportunity, so an unbounded log is an OOM risk;
+  /// events past the cap are counted in dropped_events() instead of kept.
+  static constexpr std::size_t kDefaultMaxEvents = 1u << 20;
+
   const TraceCounters& counters() const { return counters_; }
   TraceCounters& counters() { return counters_; }
 
   void enable_events(bool on) { events_enabled_ = on; }
   bool events_enabled() const { return events_enabled_; }
+  /// Caps the event log at `cap` entries (0 keeps the current events but
+  /// drops all further ones). Configuration, like enable_events.
+  void set_max_events(std::size_t cap) { max_events_ = cap; }
+  std::size_t max_events() const { return max_events_; }
+  /// Events discarded because the log was full.
+  std::uint64_t dropped_events() const { return dropped_events_; }
+
   void record(TraceEvent event);
   const std::vector<TraceEvent>& events() const { return events_; }
   void clear();
@@ -59,6 +71,8 @@ class Trace {
  private:
   TraceCounters counters_;
   bool events_enabled_ = false;
+  std::size_t max_events_ = kDefaultMaxEvents;
+  std::uint64_t dropped_events_ = 0;
   std::vector<TraceEvent> events_;
 };
 

@@ -11,10 +11,23 @@ namespace {
 
 TEST(RunningStats, EmptyIsZero) {
   RunningStats s;
+  EXPECT_TRUE(s.empty());
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.variance(), 0.0);
   EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+  // min()/max() of an empty accumulator are the documented 0.0 sentinels,
+  // not +/-infinity — callers must gate on empty().
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, EmptyClearsOnAdd) {
+  RunningStats s;
+  s.add(-3.0);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), -3.0);
 }
 
 TEST(RunningStats, SingleValue) {

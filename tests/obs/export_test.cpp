@@ -1,0 +1,89 @@
+#include "obs/export.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+
+namespace radiocast::obs {
+namespace {
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, WriterEmitsStableScalars) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object()
+      .kv("i", std::uint64_t{42})
+      .kv("neg", std::int64_t{-7})
+      .kv("whole", 3.0)
+      .kv("frac", 1.5)
+      .kv("b", true)
+      .kv("s", "x")
+      .end_object();
+  EXPECT_EQ(out.str(),
+            R"({"i":42,"neg":-7,"whole":3,"frac":1.5,"b":true,"s":"x"})");
+}
+
+TEST(Export, SpanJsonlGolden) {
+  SpanRecorder rec;
+  const std::uint64_t id = rec.open("stage1.leader", "stage", 0, {{"x", 64}});
+  rec.close(id, 10);
+
+  std::ostringstream out;
+  write_spans_jsonl(out, rec.snapshot());
+  EXPECT_EQ(out.str(),
+            "{\"type\":\"span\",\"id\":1,\"parent\":0,\"depth\":0,"
+            "\"cat\":\"stage\",\"name\":\"stage1.leader\",\"begin\":0,"
+            "\"end\":10,\"rounds\":10,\"closed\":true,\"attrs\":{\"x\":64}}\n");
+}
+
+TEST(Export, MetricsJsonlGolden) {
+  MetricsRegistry reg;
+  reg.counter("a.rounds", {{"stage", "s1"}}).inc(5);
+  reg.gauge("b.estimate").set(1.5);
+  Histogram& h = reg.histogram("c.hist", {}, {0.0, 2.0});
+  h.observe(1.0);
+  h.observe(5.0);
+
+  std::ostringstream out;
+  write_metrics_jsonl(out, reg.snapshot());
+  EXPECT_EQ(
+      out.str(),
+      "{\"type\":\"counter\",\"name\":\"a.rounds\",\"labels\":{\"stage\":\"s1\"},"
+      "\"value\":5}\n"
+      "{\"type\":\"gauge\",\"name\":\"b.estimate\",\"labels\":{},\"value\":1.5}\n"
+      "{\"type\":\"histogram\",\"name\":\"c.hist\",\"labels\":{},\"count\":2,"
+      "\"sum\":6,\"bounds\":[0,2],\"counts\":[0,1,1]}\n");
+}
+
+TEST(Export, ChromeTraceShape) {
+  SpanRecorder rec;
+  const std::uint64_t a = rec.open("stage3.collection", "stage", 100);
+  const std::uint64_t b = rec.open("phase", "phase", 100, {{"x", 8}});
+  rec.close(b, 150);
+  rec.close(a, 200);
+
+  std::ostringstream out;
+  write_chrome_trace(out, rec.snapshot());
+  const std::string s = out.str();
+  // One metadata event + two complete events, valid trace_event fields.
+  EXPECT_EQ(s.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(s.find("\"name\":\"process_name\",\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"phase\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":100,"
+                   "\"dur\":50"),
+            std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"stage3.collection\""), std::string::npos);
+  EXPECT_NE(s.find("\"args\":{\"x\":8}"), std::string::npos);
+  EXPECT_NE(s.find("\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radiocast::obs

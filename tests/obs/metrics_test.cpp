@@ -1,0 +1,100 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radiocast::obs {
+namespace {
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("rounds");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, SameNameAndLabelsReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("tx", {{"stage", "s1"}});
+  Counter& b = reg.counter("tx", {{"stage", "s1"}});
+  EXPECT_EQ(&a, &b);
+  Counter& other = reg.counter("tx", {{"stage", "s2"}});
+  EXPECT_NE(&a, &other);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Metrics, LabelOrderIsCanonicalized) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("tx", {{"kind", "data"}, {"stage", "s3"}});
+  Counter& b = reg.counter("tx", {{"stage", "s3"}, {"kind", "data"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("estimate");
+  g.set(128.0);
+  g.set(256.0);
+  EXPECT_DOUBLE_EQ(g.value(), 256.0);
+}
+
+TEST(Metrics, HistogramBucketsAndOverflow) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("per_round", {}, {0.0, 1.0, 4.0});
+  // 4 buckets: <=0, <=1, <=4, overflow.
+  h.observe(0.0);
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(100.0);
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 103.0);
+}
+
+TEST(Metrics, Pow2BoundsShape) {
+  const std::vector<double> b = Histogram::pow2_bounds(3);
+  // 0, 1, 2, 4, 8.
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_DOUBLE_EQ(b.front(), 0.0);
+  EXPECT_DOUBLE_EQ(b.back(), 8.0);
+}
+
+TEST(Metrics, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("z.last").inc(7);
+  reg.gauge("a.first").set(1.5);
+  reg.histogram("m.mid", {{"stage", "s1"}}, {0.0, 10.0}).observe(3.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.first");
+  EXPECT_EQ(snap[0].type, MetricSample::Type::kGauge);
+  EXPECT_DOUBLE_EQ(snap[0].value, 1.5);
+  EXPECT_EQ(snap[1].name, "m.mid");
+  EXPECT_EQ(snap[1].type, MetricSample::Type::kHistogram);
+  EXPECT_EQ(snap[1].count, 1u);
+  ASSERT_EQ(snap[1].labels.size(), 1u);
+  EXPECT_EQ(snap[1].labels[0].first, "stage");
+  EXPECT_EQ(snap[2].name, "z.last");
+  EXPECT_EQ(snap[2].type, MetricSample::Type::kCounter);
+  EXPECT_DOUBLE_EQ(snap[2].value, 7.0);
+}
+
+TEST(Metrics, SnapshotOrdersLabelVariantsDeterministically) {
+  MetricsRegistry reg;
+  reg.counter("tx", {{"stage", "s2"}}).inc(2);
+  reg.counter("tx", {{"stage", "s1"}}).inc(1);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].labels[0].second, "s1");
+  EXPECT_EQ(snap[1].labels[0].second, "s2");
+}
+
+}  // namespace
+}  // namespace radiocast::obs

@@ -1,0 +1,177 @@
+// End-to-end flight-recorder test: runs the full k-broadcast protocol
+// with a RunObserver attached and checks the PR's acceptance criteria —
+// the span tree shows all four stages, every Stage-3 phase carries its
+// estimate x (doubling phase over phase), siblings tile their parent
+// exactly, and attaching the observer does not perturb the run.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "obs/observer.hpp"
+
+namespace radiocast {
+namespace {
+
+struct ObservedRun {
+  core::RunResult result;
+  std::vector<obs::Span> spans;
+};
+
+ObservedRun run_observed(std::uint32_t n, std::uint32_t k, std::uint64_t seed,
+                         obs::RunObserver& observer) {
+  Rng grng(seed);
+  const graph::Graph g = graph::make_random_geometric(n, 0.35, grng);
+  core::KBroadcastConfig cfg;
+  cfg.know = radio::Knowledge::exact(g);
+  Rng prng(seed + 1);
+  const core::Placement placement =
+      core::make_placement(n, k, core::PlacementMode::kRandom, 16, prng);
+  ObservedRun out;
+  out.result = core::run_kbroadcast(g, cfg, placement, seed + 2, /*max_rounds=*/0,
+                                    /*faults=*/{}, &observer);
+  out.spans = observer.spans();
+  return out;
+}
+
+std::vector<obs::Span> by_category(const std::vector<obs::Span>& spans,
+                                   const std::string& cat) {
+  std::vector<obs::Span> out;
+  for (const obs::Span& s : spans) {
+    if (s.category == cat) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(), [](const obs::Span& a, const obs::Span& b) {
+    return a.begin_round < b.begin_round;
+  });
+  return out;
+}
+
+std::uint64_t attr(const obs::Span& s, const std::string& key) {
+  for (const obs::SpanAttr& a : s.attrs) {
+    if (a.key == key) return a.value;
+  }
+  ADD_FAILURE() << "span " << s.name << " has no attr " << key;
+  return 0;
+}
+
+TEST(ObserverEndToEnd, SpanTreeTilesTheRun) {
+  obs::RunObserver observer;
+  const ObservedRun run = run_observed(24, 20, 77, observer);
+  ASSERT_TRUE(run.result.delivered_all);
+
+  // All four stages, in order, tiling [0, total_rounds) exactly.
+  const std::vector<obs::Span> stages = by_category(run.spans, "stage");
+  ASSERT_EQ(stages.size(), 4u);
+  EXPECT_EQ(stages[0].name, "stage1.leader");
+  EXPECT_EQ(stages[1].name, "stage2.bfs");
+  EXPECT_EQ(stages[2].name, "stage3.collection");
+  EXPECT_EQ(stages[3].name, "stage4.dissemination");
+  EXPECT_EQ(stages[0].begin_round, 0u);
+  std::uint64_t stage_rounds = 0;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    EXPECT_TRUE(stages[i].closed);
+    EXPECT_EQ(stages[i].depth, 0u);
+    if (i > 0) EXPECT_EQ(stages[i].begin_round, stages[i - 1].end_round);
+    stage_rounds += stages[i].duration();
+  }
+  EXPECT_EQ(stage_rounds, run.result.total_rounds);
+
+  // Phases tile stage 3 and carry a doubling estimate.
+  const std::vector<obs::Span> phases = by_category(run.spans, "phase");
+  ASSERT_EQ(phases.size(), run.result.collection_phases);
+  std::uint64_t phase_rounds = 0;
+  std::uint64_t prev_estimate = 0;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    EXPECT_EQ(phases[i].parent_id, stages[2].id);
+    EXPECT_EQ(phases[i].depth, 1u);
+    if (i > 0) EXPECT_EQ(phases[i].begin_round, phases[i - 1].end_round);
+    const std::uint64_t x = attr(phases[i], "estimate");
+    if (i > 0) EXPECT_EQ(x, 2 * prev_estimate);
+    prev_estimate = x;
+    phase_rounds += phases[i].duration();
+  }
+  EXPECT_EQ(phases.front().begin_round, stages[2].begin_round);
+  EXPECT_EQ(phases.back().end_round, stages[2].end_round);
+  EXPECT_EQ(phase_rounds, stages[2].duration());
+  EXPECT_EQ(prev_estimate, run.result.final_estimate);
+
+  // Epochs tile their phase; per-epoch round counts sum to stage 3, and
+  // with the stage spans that reaches total_rounds.
+  const std::vector<obs::Span> epochs = by_category(run.spans, "epoch");
+  ASSERT_FALSE(epochs.empty());
+  std::map<std::uint64_t, std::uint64_t> epoch_rounds_by_phase;
+  for (const obs::Span& e : epochs) {
+    EXPECT_EQ(e.depth, 2u);
+    EXPECT_TRUE(e.name == "ospg" || e.name == "mspg" || e.name == "alarm")
+        << e.name;
+    epoch_rounds_by_phase[e.parent_id] += e.duration();
+  }
+  std::uint64_t epoch_rounds = 0;
+  for (const obs::Span& p : phases) {
+    ASSERT_TRUE(epoch_rounds_by_phase.count(p.id));
+    EXPECT_EQ(epoch_rounds_by_phase[p.id], p.duration());
+    epoch_rounds += epoch_rounds_by_phase[p.id];
+  }
+  EXPECT_EQ(epoch_rounds, stages[2].duration());
+}
+
+TEST(ObserverEndToEnd, MetricsMatchRunTotals) {
+  obs::RunObserver observer;
+  const ObservedRun run = run_observed(24, 20, 77, observer);
+
+  // Per-stage sim.rounds counters sum to total_rounds.
+  std::uint64_t rounds = 0;
+  std::uint64_t deliveries = 0;
+  bool saw_estimate = false;
+  for (const obs::MetricSample& m : run.result.metrics) {
+    if (m.name == "sim.rounds") rounds += static_cast<std::uint64_t>(m.value);
+    if (m.name == "sim.deliveries" && m.labels.size() == 1)
+      deliveries += static_cast<std::uint64_t>(m.value);
+    if (m.name == "collection.estimate") {
+      saw_estimate = true;
+      EXPECT_DOUBLE_EQ(m.value,
+                       static_cast<double>(run.result.final_estimate));
+    }
+  }
+  EXPECT_EQ(rounds, run.result.total_rounds);
+  EXPECT_EQ(deliveries, run.result.counters.deliveries);
+  EXPECT_TRUE(saw_estimate);
+
+  // Kind-split deliveries sum to the same total as the per-stage split.
+  std::uint64_t deliveries_by_kind = 0;
+  for (const obs::MetricSample& m : run.result.metrics) {
+    if (m.name == "sim.deliveries" && m.labels.size() == 2)
+      deliveries_by_kind += static_cast<std::uint64_t>(m.value);
+  }
+  EXPECT_EQ(deliveries_by_kind, deliveries);
+}
+
+TEST(ObserverEndToEnd, AttachingObserverDoesNotPerturbTheRun) {
+  Rng grng(77);
+  const graph::Graph g = graph::make_random_geometric(24, 0.35, grng);
+  core::KBroadcastConfig cfg;
+  cfg.know = radio::Knowledge::exact(g);
+  Rng prng(78);
+  const core::Placement placement =
+      core::make_placement(24, 20, core::PlacementMode::kRandom, 16, prng);
+
+  const core::RunResult plain = core::run_kbroadcast(g, cfg, placement, 79);
+  obs::RunObserver observer;
+  const core::RunResult observed =
+      core::run_kbroadcast(g, cfg, placement, 79, 0, {}, &observer);
+
+  EXPECT_EQ(plain.total_rounds, observed.total_rounds);
+  EXPECT_EQ(plain.delivered_all, observed.delivered_all);
+  EXPECT_EQ(plain.counters.transmissions, observed.counters.transmissions);
+  EXPECT_EQ(plain.counters.deliveries, observed.counters.deliveries);
+  EXPECT_TRUE(plain.metrics.empty());
+  EXPECT_FALSE(observed.metrics.empty());
+}
+
+}  // namespace
+}  // namespace radiocast

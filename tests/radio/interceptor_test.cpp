@@ -1,0 +1,137 @@
+// InterceptingProtocol: hooks fire in the documented order (wake before
+// inner wake, transmit after the inner decision, receive before inner
+// on_receive) and the wrapper never changes the inner protocol's
+// behaviour on the channel.
+#include "radio/interceptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "radio/network.hpp"
+
+namespace radiocast::radio {
+namespace {
+
+/// Transmits a scripted message at scripted rounds; logs its own calls so
+/// hook/inner ordering is checkable from one event list.
+class LoggedNode final : public NodeProtocol {
+ public:
+  LoggedNode(std::map<Round, MessageBody> script, std::vector<std::string>* log)
+      : script_(std::move(script)), log_(log) {}
+
+  void on_wake(Round) override { log_->push_back("inner.wake"); }
+
+  std::optional<MessageBody> on_transmit(Round round) override {
+    log_->push_back("inner.transmit");
+    const auto it = script_.find(round);
+    if (it == script_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void on_receive(Round, const Message&) override {
+    log_->push_back("inner.receive");
+  }
+
+  bool done() const override { return done_; }
+  bool done_ = false;
+
+ private:
+  std::map<Round, MessageBody> script_;
+  std::vector<std::string>* log_;
+};
+
+TEST(Interceptor, HookOrderingAroundInnerCalls) {
+  std::vector<std::string> log;
+  InterceptingProtocol p(
+      std::make_unique<LoggedNode>(std::map<Round, MessageBody>{{0, AlarmMsg{}}},
+                                   &log));
+  p.set_wake_hook([&](Round) { log.push_back("hook.wake"); });
+  p.set_transmit_hook([&](Round, const std::optional<MessageBody>& out) {
+    // The transmit hook observes the inner decision, so it must run after.
+    EXPECT_TRUE(out.has_value());
+    log.push_back("hook.transmit");
+  });
+  p.set_receive_hook([&](Round, const Message&) { log.push_back("hook.receive"); });
+
+  p.on_wake(0);
+  const std::optional<MessageBody> out = p.on_transmit(0);
+  EXPECT_TRUE(out.has_value());
+  Message msg;
+  msg.from = 7;
+  msg.body = AlarmMsg{};
+  p.on_receive(1, msg);
+
+  EXPECT_EQ(log, (std::vector<std::string>{
+                     "hook.wake", "inner.wake",          // wake: hook first
+                     "inner.transmit", "hook.transmit",  // transmit: inner first
+                     "hook.receive", "inner.receive",    // receive: hook first
+                 }));
+}
+
+TEST(Interceptor, PassesThroughTransmitDecisionAndDone) {
+  std::vector<std::string> log;
+  auto inner = std::make_unique<LoggedNode>(
+      std::map<Round, MessageBody>{{3, AlarmMsg{}}}, &log);
+  LoggedNode* raw = inner.get();
+  InterceptingProtocol p(std::move(inner));
+
+  EXPECT_FALSE(p.on_transmit(0).has_value());
+  EXPECT_TRUE(p.on_transmit(3).has_value());
+  EXPECT_FALSE(p.done());
+  raw->done_ = true;
+  EXPECT_TRUE(p.done());
+  EXPECT_EQ(&p.inner(), raw);
+}
+
+TEST(Interceptor, HooksAreOptional) {
+  std::vector<std::string> log;
+  InterceptingProtocol p(std::make_unique<LoggedNode>(
+      std::map<Round, MessageBody>{{0, AlarmMsg{}}}, &log));
+  // No hooks set: calls just pass through.
+  p.on_wake(0);
+  EXPECT_TRUE(p.on_transmit(0).has_value());
+  Message msg;
+  msg.from = 1;
+  msg.body = AlarmMsg{};
+  p.on_receive(0, msg);
+  EXPECT_EQ(log, (std::vector<std::string>{"inner.wake", "inner.transmit",
+                                           "inner.receive"}));
+}
+
+TEST(Interceptor, TransparentInsideANetwork) {
+  // Star 0-1: node 1 transmits at round 0 via an interceptor; the center
+  // receives exactly as it would without the wrapper, and the hook sees
+  // the same delivery.
+  graph::Graph g = graph::make_star(2);
+  Network net(g);
+  std::vector<std::string> center_log, leaf_log;
+  int hook_deliveries = 0;
+
+  auto center = std::make_unique<InterceptingProtocol>(
+      std::make_unique<LoggedNode>(std::map<Round, MessageBody>{}, &center_log));
+  center->set_receive_hook([&](Round round, const Message& msg) {
+    EXPECT_EQ(round, 0u);
+    EXPECT_EQ(msg.from, 1u);
+    ++hook_deliveries;
+  });
+  net.set_protocol(0, std::move(center));
+  net.set_protocol(1, std::make_unique<LoggedNode>(
+                          std::map<Round, MessageBody>{{0, AlarmMsg{}}},
+                          &leaf_log));
+  net.wake_at_start(0);
+  net.wake_at_start(1);
+  net.step();
+
+  EXPECT_EQ(hook_deliveries, 1);
+  EXPECT_EQ(net.trace().counters().deliveries, 1u);
+  ASSERT_GE(center_log.size(), 1u);
+  EXPECT_EQ(center_log.back(), "inner.receive");
+}
+
+}  // namespace
+}  // namespace radiocast::radio
