@@ -25,13 +25,18 @@ int main() {
 
   Table t({"k", "stage3 rounds", "rounds/k", "phases", "final estimate", "ok"});
   for (const std::uint32_t k : {8u, 64u, 256u, 1024u, 4096u}) {
+    core::montecarlo::KBroadcastSweep sweep;
+    sweep.graph = &g;
+    sweep.cfg = kcfg;
+    sweep.k = k;
+    sweep.placement_seed = [](int s) { return 90 + static_cast<std::uint64_t>(s); };
+    sweep.run_seed = [](int s) { return 95 + static_cast<std::uint64_t>(s); };
+    const std::vector<core::RunResult> results =
+        core::montecarlo::run_kbroadcast_sweep(sweep, seeds);
+
     SampleSet rounds, phases, estimate;
     int ok = 0, runs = 0;
-    for (int s = 0; s < seeds; ++s) {
-      Rng prng(90 + s);
-      const core::Placement placement = core::make_placement(
-          g.num_nodes(), k, core::PlacementMode::kRandom, 16, prng);
-      const core::RunResult r = core::run_kbroadcast(g, kcfg, placement, 95 + s);
+    for (const core::RunResult& r : results) {
       ++runs;
       if (r.delivered_all) ++ok;
       rounds.add(static_cast<double>(r.stage3_rounds));

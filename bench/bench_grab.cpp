@@ -60,8 +60,7 @@ int main() {
 
   JsonReport json("E7_grab");
   json.meta("claim", "GRAB(x) collects all packets whp when x >= k")
-      .meta("graph", g.summary())
-      .meta("seeds", std::to_string(seeds));
+      .meta("graph", g.summary());
 
   for (const std::uint32_t k :
        {static_cast<std::uint32_t>(rc.initial_estimate / 2),
@@ -70,10 +69,15 @@ int main() {
     Table t({"window", "slots", "copies", "collected", "remaining", "frac left"});
     const auto windows = core::grab_windows(rc.initial_estimate, rc);
 
-    // Aggregate per-window remaining over seeds.
-    std::vector<SampleSet> remaining(windows.size());
-    int all_collected = 0;
-    for (int s = 0; s < seeds; ++s) {
+    // One trial = one isolated network stepped through the cascade,
+    // sampling the root's collected count at every window boundary.
+    // Trials fan out over the Monte Carlo driver; each owns its Network
+    // and Rngs, so the per-window samples are thread-count independent.
+    struct TrialOut {
+      std::vector<double> remaining;
+      bool all_collected = false;
+    };
+    const std::vector<TrialOut> trials = core::montecarlo::run(seeds, [&](int s) {
       Rng prng(40 + s);
       const core::Placement placement = core::make_placement(
           g.num_nodes(), k, core::PlacementMode::kRandom, 16, prng);
@@ -88,12 +92,22 @@ int main() {
         net.wake_at_start(v);
       }
       auto& root = static_cast<CollectionOnlyNode&>(net.protocol(0));
+      TrialOut out;
       for (std::size_t w = 0; w < windows.size(); ++w) {
         while (net.current_round() < windows[w].end()) net.step();
-        remaining[w].add(static_cast<double>(k) -
-                         static_cast<double>(root.state().collected().size()));
+        out.remaining.push_back(static_cast<double>(k) -
+                                static_cast<double>(root.state().collected().size()));
       }
-      if (root.state().collected().size() == k) ++all_collected;
+      out.all_collected = root.state().collected().size() == k;
+      return out;
+    });
+
+    // Aggregate per-window remaining over seeds, in trial order.
+    std::vector<SampleSet> remaining(windows.size());
+    int all_collected = 0;
+    for (const TrialOut& out : trials) {
+      for (std::size_t w = 0; w < windows.size(); ++w) remaining[w].add(out.remaining[w]);
+      if (out.all_collected) ++all_collected;
     }
     for (std::size_t w = 0; w < windows.size(); ++w) {
       const double rem = remaining[w].median();

@@ -30,19 +30,26 @@ int main() {
   for (const bool coded : {true, false}) {
     double baseline_rounds = 0;
     for (const double loss : {0.0, 0.02, 0.05, 0.1, 0.2}) {
-      SampleSet rounds, phases;
-      int ok = 0, runs = 0;
-      for (int s = 0; s < seeds; ++s) {
-        Rng prng(140 + s);
-        const core::Placement placement = core::make_placement(
-            g.num_nodes(), k, core::PlacementMode::kRandom, 16, prng);
-        core::KBroadcastConfig cfg = coded ? baselines::coded_config(know)
-                                           : baselines::uncoded_pipeline_config(know);
+      core::montecarlo::KBroadcastSweep sweep;
+      sweep.graph = &g;
+      sweep.cfg = coded ? baselines::coded_config(know)
+                        : baselines::uncoded_pipeline_config(know);
+      sweep.k = k;
+      sweep.placement_seed = [](int s) { return 140 + static_cast<std::uint64_t>(s); };
+      sweep.run_seed = [](int s) { return 150 + static_cast<std::uint64_t>(s); };
+      sweep.max_rounds = 30'000'000;
+      sweep.faults = [loss](int s) {
         radio::FaultModel faults;
         faults.reception_loss_probability = loss;
         faults.seed = 555 + static_cast<std::uint64_t>(s);
-        const core::RunResult r =
-            core::run_kbroadcast(g, cfg, placement, 150 + s, 30'000'000, faults);
+        return faults;
+      };
+      const std::vector<core::RunResult> results =
+          core::montecarlo::run_kbroadcast_sweep(sweep, seeds);
+
+      SampleSet rounds, phases;
+      int ok = 0, runs = 0;
+      for (const core::RunResult& r : results) {
         ++runs;
         if (r.delivered_all) ++ok;
         rounds.add(static_cast<double>(r.total_rounds));

@@ -24,22 +24,23 @@ int main() {
 
   JsonReport json("E2_total_time");
   json.meta("claim", "total rounds = O(k logD + (D+logn) logn logD)")
-      .meta("graph", g.summary())
-      .meta("seeds", std::to_string(seeds));
+      .meta("graph", g.summary());
 
   Table t({"k", "stage1", "stage2", "stage3", "stage4", "total", "phases", "r/pkt",
            "ok"});
-  double prev_total = 0;
-  (void)prev_total;
   for (const std::uint32_t k : {8u, 32u, 128u, 512u, 2048u}) {
+    core::montecarlo::KBroadcastSweep sweep;
+    sweep.graph = &g;
+    sweep.cfg = baselines::coded_config(know);
+    sweep.k = k;
+    sweep.placement_seed = [](int s) { return 500 + static_cast<std::uint64_t>(s); };
+    sweep.run_seed = [](int s) { return 900 + static_cast<std::uint64_t>(s); };
+    const std::vector<core::RunResult> results =
+        core::montecarlo::run_kbroadcast_sweep(sweep, seeds);
+
     SampleSet s1, s2, s3, s4, total, phases, rpp;
     int ok = 0, runs = 0;
-    for (int s = 0; s < seeds; ++s) {
-      Rng prng(500 + s);
-      const core::Placement placement = core::make_placement(
-          g.num_nodes(), k, core::PlacementMode::kRandom, 16, prng);
-      const core::RunResult r = core::run_kbroadcast(
-          g, baselines::coded_config(know), placement, 900 + s);
+    for (const core::RunResult& r : results) {
       ++runs;
       if (r.delivered_all) ++ok;
       s1.add(static_cast<double>(r.stage1_rounds));

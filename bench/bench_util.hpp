@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "core/montecarlo.hpp"
 #include "core/runner.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
@@ -30,6 +31,10 @@ inline int seeds_from_env(int default_seeds = 3) {
   const int v = std::atoi(env);
   return v > 0 ? v : default_seeds;
 }
+
+/// Thread budget the Monte Carlo driver will use (RADIOCAST_BENCH_THREADS,
+/// default hardware concurrency; 1 = sequential legacy behavior).
+inline int threads_from_env() { return core::montecarlo::threads_from_env(); }
 
 /// Median completion rounds (and success count) of `algo` over seeds.
 struct AlgoStats {
@@ -46,14 +51,20 @@ inline AlgoStats run_seeds(baselines::Algo algo, const graph::Graph& g,
                            const radio::Knowledge& know, std::uint32_t k,
                            core::PlacementMode mode, int seeds,
                            std::uint64_t seed_base = 1000) {
+  // Trials fan out over the Monte Carlo driver; the reduction below walks
+  // the results in trial order, so the stats are byte-identical to the
+  // historical sequential loop at any thread count.
+  const std::vector<core::RunResult> results = core::montecarlo::run(
+      seeds, [&](int s) {
+        Rng prng(seed_base + 17 * static_cast<std::uint64_t>(s));
+        const core::Placement placement =
+            core::make_placement(g.num_nodes(), k, mode, 16, prng);
+        return baselines::run_algo(algo, g, know, placement,
+                                   seed_base + 1000 + static_cast<std::uint64_t>(s));
+      });
   AlgoStats out;
   SampleSet rounds, amortized, phases, s3, s4;
-  for (int s = 0; s < seeds; ++s) {
-    Rng prng(seed_base + 17 * static_cast<std::uint64_t>(s));
-    const core::Placement placement =
-        core::make_placement(g.num_nodes(), k, mode, 16, prng);
-    const core::RunResult r = baselines::run_algo(
-        algo, g, know, placement, seed_base + 1000 + static_cast<std::uint64_t>(s));
+  for (const core::RunResult& r : results) {
     ++out.runs;
     if (r.delivered_all) ++out.successes;
     rounds.add(static_cast<double>(r.total_rounds));
@@ -75,6 +86,7 @@ inline void banner(const std::string& id, const std::string& claim) {
   std::cout << "\n=== " << id << " ===\n";
   print_meta(std::cout, "claim", claim);
   print_meta(std::cout, "seeds", std::to_string(seeds_from_env()));
+  print_meta(std::cout, "threads", std::to_string(threads_from_env()));
 }
 
 /// Machine-readable bench results: mirrors the printed table as
@@ -82,11 +94,14 @@ inline void banner(const std::string& id, const std::string& claim) {
 /// var is unset, so local bench runs stay file-free). Shape:
 ///
 ///   {"bench":"E2_total_time",
-///    "meta":{"claim":"...","seeds":"3"},
+///    "meta":{"seeds":"3","threads":"8","claim":"..."},
 ///    "rows":[{"k":8,"total":1234,...}, ...]}
 ///
-/// The trajectory of these files over time is the regression baseline the
-/// ROADMAP's perf PRs diff against.
+/// Every report self-describes its seed grid and thread budget (recorded
+/// at construction), so a BENCH_*.json from CI or a perf PR can be read
+/// without knowing the environment it ran in. The trajectory of these
+/// files over time is the regression baseline the ROADMAP's perf PRs diff
+/// against.
 class JsonReport {
  public:
   using Value = std::variant<std::string, double, std::uint64_t, std::int64_t, bool>;
@@ -94,6 +109,8 @@ class JsonReport {
   explicit JsonReport(std::string id) : id_(std::move(id)) {
     const char* dir = std::getenv("RADIOCAST_BENCH_JSON_DIR");
     if (dir != nullptr && *dir != '\0') path_ = std::string(dir) + "/BENCH_" + id_ + ".json";
+    meta("seeds", std::to_string(seeds_from_env()));
+    meta("threads", std::to_string(threads_from_env()));
   }
   JsonReport(const JsonReport&) = delete;
   JsonReport& operator=(const JsonReport&) = delete;

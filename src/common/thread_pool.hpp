@@ -1,0 +1,59 @@
+// Fixed-size thread pool for embarrassingly parallel trial fan-out.
+//
+// Deliberately work-stealing-free: one mutex-protected FIFO feeds all
+// workers. Monte Carlo trials are coarse (milliseconds to seconds each),
+// so queue contention is negligible and the simple design keeps the
+// scheduling order — and therefore thread assignment — easy to reason
+// about. Results must not depend on which worker ran a task; the
+// montecarlo driver guarantees that by giving every trial its own Rng,
+// Network, and output slot.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace radiocast {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Joins all workers; pending tasks are still drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw (wrap and capture exceptions at
+  /// the call site — see core::montecarlo for the pattern).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle. The pool is
+  /// reusable afterwards.
+  void wait_idle();
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0 when unknown).
+  static unsigned default_concurrency();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers sleep here
+  std::condition_variable idle_cv_;  ///< wait_idle sleeps here
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< tasks popped but not finished
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace radiocast

@@ -37,6 +37,13 @@ DisseminationState::DisseminationState(const Config& cfg, radio::NodeId self,
     RC_ASSERT(!dist.has_value() || *dist == 0);
     dist_ = 0;
   }
+  epoch_len_ = cfg_.rc.know.log_delta();
+  forward_rounds_ = static_cast<std::uint64_t>(cfg_.rc.forward_epochs) * epoch_len_;
+  decay_prob_.reserve(epoch_len_);
+  for (std::uint32_t s = 0; s < epoch_len_; ++s) {
+    decay_prob_.push_back(1.0 / static_cast<double>(1ULL << (s + 1)));
+  }
+  slot_base_ = is_root_ ? 0 : (dist_.has_value() ? *dist_ : 0);
 }
 
 void DisseminationState::set_root_packets(std::vector<radio::Packet> packets) {
@@ -104,48 +111,68 @@ void DisseminationState::refresh_complete() {
                           [](const GroupState& gs) { return gs.complete; });
 }
 
+void DisseminationState::refresh_phase_slot() {
+  const std::uint32_t spacing = cfg_.rc.group_spacing;
+  const std::uint64_t rel_phase = phase_ - slot_base_;
+  phase_slot_ = rel_phase % spacing;
+  phase_group_ = rel_phase / spacing;
+  phase_dirty_ = false;
+}
+
 std::optional<radio::MessageBody> DisseminationState::on_transmit(
     std::uint64_t rel_round) {
+  // Advance the incremental round clock (see the header): divisions only
+  // happen on a non-consecutive rel_round and once per phase change.
   const std::uint64_t phase_len = cfg_.rc.dissem_phase_rounds;
-  const std::uint64_t phase = rel_round / phase_len;
-  const std::uint64_t off = rel_round % phase_len;
-  const std::uint32_t spacing = cfg_.rc.group_spacing;
+  if (clock_valid_ && rel_round == clock_round_ + 1) {
+    if (++off_ == phase_len) {
+      off_ = 0;
+      epoch_off_ = 0;  // phase_len need not be a multiple of epoch_len_
+      ++phase_;
+      phase_dirty_ = true;
+    } else if (++epoch_off_ == epoch_len_) {
+      epoch_off_ = 0;
+    }
+  } else if (!clock_valid_ || rel_round != clock_round_) {
+    phase_ = rel_round / phase_len;
+    off_ = rel_round % phase_len;
+    epoch_off_ = static_cast<std::uint32_t>(off_ % epoch_len_);
+    phase_dirty_ = true;
+    clock_valid_ = true;
+  }
+  clock_round_ = rel_round;
 
   if (is_root_) {
     // Injection phase for group j = phase / spacing.
-    if (!group_count_known_ || phase % spacing != 0) return std::nullopt;
-    const std::uint64_t j = phase / spacing;
+    if (!group_count_known_) return std::nullopt;
+    if (phase_dirty_) refresh_phase_slot();
+    if (phase_slot_ != 0) return std::nullopt;
+    const std::uint64_t j = phase_group_;
     if (j >= group_count_) return std::nullopt;
     const GroupState& gs = groups_[j];
-    if (off >= gs.size) return std::nullopt;
+    if (off_ >= gs.size) return std::nullopt;
     radio::PlainPacketMsg msg;
-    msg.packet = gs.packets[off];
+    msg.packet = gs.packets[off_];
     msg.group_id = static_cast<std::uint32_t>(j);
     msg.group_count = group_count_;
-    msg.index_in_group = static_cast<std::uint16_t>(off);
+    msg.index_in_group = static_cast<std::uint16_t>(off_);
     msg.group_size = gs.size;
     return msg;
   }
 
   // Non-root layers forward group j in phase spacing*j + dist.
   if (!dist_.has_value() || *dist_ == 0 || !group_count_known_) return std::nullopt;
-  if (phase < *dist_) return std::nullopt;
-  const std::uint64_t rel_phase = phase - *dist_;
-  if (rel_phase % spacing != 0) return std::nullopt;
-  const std::uint64_t j = rel_phase / spacing;
+  if (phase_ < *dist_) return std::nullopt;
+  if (phase_dirty_) refresh_phase_slot();
+  if (phase_slot_ != 0) return std::nullopt;
+  const std::uint64_t j = phase_group_;
   if (j >= group_count_) return std::nullopt;
   GroupState& gs = groups_[j];
   if (!gs.complete) return std::nullopt;  // failed to decode in time: sit out
 
   // FORWARD: Decay-paced coded (or plain) transmission.
-  const std::uint32_t epoch_len = cfg_.rc.know.log_delta();
-  const std::uint64_t forward_rounds =
-      static_cast<std::uint64_t>(cfg_.rc.forward_epochs) * epoch_len;
-  if (off >= forward_rounds) return std::nullopt;
-  const auto s = static_cast<std::uint32_t>(off % epoch_len);
-  if (!rng_->next_bool(1.0 / static_cast<double>(1ULL << (s + 1)))) {
-    return std::nullopt;
-  }
+  if (off_ >= forward_rounds_) return std::nullopt;
+  if (!rng_->next_bool(decay_prob_[epoch_off_])) return std::nullopt;
 
   if (cfg_.rc.coded) {
     if (!gs.encoder.has_value()) {

@@ -92,6 +92,9 @@ class DisseminationState {
   GroupState& group(std::uint32_t group_id, std::uint16_t group_size);
   void maybe_finish_group(GroupState& gs);
   void refresh_complete();
+  /// Recomputes phase_slot_/phase_group_ for the current phase_. Callers
+  /// must have checked phase_ >= slot_base_ first.
+  void refresh_phase_slot();
 
   Config cfg_;
   radio::NodeId self_;
@@ -106,6 +109,31 @@ class DisseminationState {
 
   std::uint64_t rows_received_ = 0;
   std::uint64_t redundant_rows_ = 0;
+
+  // Constants hoisted out of on_transmit, which runs once per node-round
+  // for the entire Stage 4 window and dominated the profile: the Decay
+  // epoch length, the FORWARD window length, the per-epoch-slot transmit
+  // probabilities (1/2^(s+1), exact in binary FP so precomputing cannot
+  // perturb a draw), and this node's layer offset into the phase schedule.
+  std::uint32_t epoch_len_ = 1;
+  std::uint64_t forward_rounds_ = 0;
+  std::vector<double> decay_prob_;
+  std::uint64_t slot_base_ = 0;
+
+  // Incremental round clock. Consecutive on_transmit calls advance
+  // rel_round by one, so phase/off/epoch_off are maintained by increments
+  // and the division-based recompute runs only on a jump (first call, or
+  // a caller that skips rounds). The maintained values equal the direct
+  // quotient/remainder computation exactly, so behavior is bit-for-bit
+  // unchanged.
+  bool clock_valid_ = false;
+  std::uint64_t clock_round_ = 0;
+  std::uint64_t phase_ = 0;
+  std::uint64_t off_ = 0;          ///< rel_round % phase_len
+  std::uint32_t epoch_off_ = 0;    ///< off_ % epoch_len_
+  bool phase_dirty_ = true;
+  std::uint64_t phase_slot_ = 0;   ///< (phase_ - slot_base_) % spacing
+  std::uint64_t phase_group_ = 0;  ///< (phase_ - slot_base_) / spacing
 };
 
 }  // namespace radiocast::core

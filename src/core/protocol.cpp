@@ -35,6 +35,11 @@ KBroadcastNode::Stage KBroadcastNode::stage_for(radio::Round round) const {
 }
 
 void KBroadcastNode::ensure_stage(radio::Round round) {
+  // Dissemination is the terminal stage and can only engage after every
+  // earlier stage did, so once it exists there is nothing left to build.
+  // This fast-out matters: ensure_stage runs on every callback, and Stage 4
+  // dominates a long run's node-rounds.
+  if (dissemination_.has_value()) return;
   if (round >= stage2_start_ && !bfs_.has_value()) {
     leader_.finalize();
     protocols::BfsBuildState::Config cfg;

@@ -1,5 +1,6 @@
 #include "radio/network.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -9,7 +10,7 @@ namespace radiocast::radio {
 Network::Network(const graph::Graph& graph)
     : graph_(graph),
       protocols_(graph.num_nodes()),
-      awake_(graph.num_nodes(), false),
+      awake_(graph.num_nodes(), 0),
       reach_count_(graph.num_nodes(), 0),
       reach_source_(graph.num_nodes(), 0) {
   RC_ASSERT_MSG(graph.finalized(), "Network requires a finalized graph");
@@ -35,8 +36,9 @@ void Network::wake_at_start(NodeId id) {
   RC_ASSERT(id < num_nodes());
   RC_ASSERT_MSG(!started_, "wake_at_start after the simulation started");
   if (!awake_[id]) {
-    awake_[id] = true;
-    ++num_awake_;
+    awake_[id] = 1;
+    awake_list_.push_back(id);
+    awake_list_dirty_ = true;
     pending_initial_wakes_.push_back(id);
   }
 }
@@ -56,8 +58,9 @@ void Network::enable_collision_detection(bool on) {
 
 void Network::wake(NodeId id) {
   if (!awake_[id]) {
-    awake_[id] = true;
-    ++num_awake_;
+    awake_[id] = 1;
+    awake_list_.push_back(id);
+    awake_list_dirty_ = true;
     ++trace_.counters().wakeups;
     protocols_[id]->on_wake(round_);
   }
@@ -107,11 +110,17 @@ void Network::step() {
 #endif
   }
 
-  // Phase 1: collect transmission decisions from awake nodes.
+  // Phase 1: collect transmission decisions from awake nodes. The dense
+  // awake list replaces the historical full-n scan; it is kept sorted so
+  // on_transmit fires in the same ascending-id order as that scan did.
+  const bool events = trace_.events_enabled();
   transmissions_.clear();
   if (transmitting_.size() != num_nodes()) transmitting_.assign(num_nodes(), 0);
-  for (NodeId id = 0; id < num_nodes(); ++id) {
-    if (!awake_[id]) continue;
+  if (awake_list_dirty_) {
+    std::sort(awake_list_.begin(), awake_list_.end());
+    awake_list_dirty_ = false;
+  }
+  for (NodeId id : awake_list_) {
     std::optional<MessageBody> body = protocols_[id]->on_transmit(round_);
     if (body.has_value()) {
       transmitting_[id] = 1;
@@ -138,12 +147,12 @@ void Network::step() {
     reach_count_[v] = 0;  // reset for the next round
     if (transmitting_[v]) {
       ++trace_.counters().deaf_slots;
-      trace_.record({round_, v, TraceEvent::Kind::kDeaf, {}, 0});
+      if (events) trace_.record({round_, v, TraceEvent::Kind::kDeaf, {}, 0});
       continue;
     }
     if (reached >= 2) {
       ++trace_.counters().collision_slots;
-      trace_.record({round_, v, TraceEvent::Kind::kCollision, {}, 0});
+      if (events) trace_.record({round_, v, TraceEvent::Kind::kCollision, {}, 0});
       if (collision_detection_) {
         wake(v);
         protocols_[v]->on_collision(round_);
@@ -156,31 +165,38 @@ void Network::step() {
       ++trace_.counters().fault_drops;
       continue;
     }
-    const Transmission& tx = transmissions_[reach_source_[v]];
+    const Message& tx = transmissions_[reach_source_[v]];
     ++trace_.counters().deliveries;
     trace_.counters().bits_delivered += message_size_bits(tx.body);
     ++trace_.counters().deliveries_by_kind[message_kind_index(tx.body)];
-    trace_.record({round_, v, TraceEvent::Kind::kDelivered, message_kind(tx.body),
-                   tx.from});
+    if (events) {
+      trace_.record({round_, v, TraceEvent::Kind::kDelivered, message_kind(tx.body),
+                     tx.from});
+    }
     wake(v);
-    Message msg{tx.from, tx.body};
-    protocols_[v]->on_receive(round_, msg);
+    protocols_[v]->on_receive(round_, tx);
   }
   touched_.clear();
-  for (const Transmission& tx : transmissions_) transmitting_[tx.from] = 0;
+  for (const Message& tx : transmissions_) transmitting_[tx.from] = 0;
 
   if (observer_ != nullptr) report_round(round_);
   ++round_;
   ++trace_.counters().rounds;
 }
 
+bool Network::advance_done_count() {
+  while (done_count_ < num_nodes() && protocols_[done_count_]->done()) ++done_count_;
+  return done_count_ == num_nodes();
+}
+
 bool Network::run_until_done(Round max_rounds) {
-  return run_until(max_rounds, [this] {
-    for (NodeId id = 0; id < num_nodes(); ++id) {
-      if (!protocols_[id]->done()) return false;
-    }
-    return true;
-  });
+  done_count_ = 0;  // re-verify from scratch: protocols may have been swapped
+  if (advance_done_count()) return true;
+  for (Round r = 0; r < max_rounds; ++r) {
+    step();
+    if (advance_done_count()) return true;
+  }
+  return false;
 }
 
 bool Network::run_until(Round max_rounds, const std::function<bool()>& predicate) {

@@ -65,8 +65,8 @@ class Network {
   void enable_collision_detection(bool on);
   bool collision_detection() const { return collision_detection_; }
 
-  bool is_awake(NodeId id) const { return awake_[id]; }
-  std::size_t num_awake() const { return num_awake_; }
+  bool is_awake(NodeId id) const { return awake_[id] != 0; }
+  std::size_t num_awake() const { return awake_list_.size(); }
 
   Round current_round() const { return round_; }
 
@@ -96,16 +96,38 @@ class Network {
   void wake(NodeId id);
   /// Fills round_stats_ with this round's deltas and feeds the observer.
   void report_round(std::uint64_t round);
+  /// Advances the completion counter past newly-done protocols; returns
+  /// true iff all protocols are done (see done_count_ below).
+  bool advance_done_count();
 
   const graph::Graph& graph_;
   std::vector<std::unique_ptr<NodeProtocol>> protocols_;
-  std::vector<bool> awake_;
-  std::size_t num_awake_ = 0;
+  /// Byte-vector (not vector<bool>) — this is the hottest per-round
+  /// branch and byte loads beat bit-twiddling there, matching the
+  /// transmitting_ idiom below.
+  std::vector<std::uint8_t> awake_;
+  /// Dense list of awake node ids. Phase 1 iterates this instead of
+  /// scanning all n nodes, so a round costs O(awake + touched). Kept in
+  /// ascending id order (re-sorted lazily after wake-ups) so protocol
+  /// callbacks fire in exactly the order of the historical full scan.
+  std::vector<NodeId> awake_list_;
+  bool awake_list_dirty_ = false;
   /// Nodes flagged awake before the first step; on_wake fires lazily.
   std::vector<NodeId> pending_initial_wakes_;
   bool started_ = false;
   Round round_ = 0;
   Trace trace_;
+
+  /// Protocol-completion counter for run_until_done. Nodes [0,
+  /// done_count_) are known done; because done() is monotone (see
+  /// NodeProtocol::done) they never need re-checking, so the counter only
+  /// ever advances — once on each completion transition it observes. The
+  /// per-round check is therefore O(1 + #transitions) virtual calls,
+  /// replacing the historical all-n sweep (each node's done()==true is
+  /// evaluated exactly once over the whole run). Reset on every
+  /// run_until_done call so external protocol mutation between runs stays
+  /// visible.
+  NodeId done_count_ = 0;
 
   FaultModel fault_model_;
   Rng fault_rng_;
@@ -121,11 +143,11 @@ class Network {
   std::array<std::uint32_t, kNumMessageKinds> round_rx_by_kind_{};
 
   // Scratch buffers reused across rounds to avoid per-round allocation.
-  struct Transmission {
-    NodeId from;
-    MessageBody body;
-  };
-  std::vector<Transmission> transmissions_;
+  // Transmissions are stored as ready-to-deliver Messages: the body is
+  // moved in once at transmit time and every receiver gets a const
+  // reference, so a gf2::Payload is never copied inside the engine no
+  // matter how many neighbors hear it.
+  std::vector<Message> transmissions_;
   std::vector<std::uint8_t> transmitting_;
   std::vector<std::uint32_t> reach_count_;
   std::vector<std::uint32_t> reach_source_;  // index into transmissions_

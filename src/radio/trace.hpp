@@ -33,6 +33,8 @@ struct TraceCounters {
   /// Per-message-kind breakdowns (indexed by message_kind_index).
   std::array<std::uint64_t, kNumMessageKinds> transmissions_by_kind{};
   std::array<std::uint64_t, kNumMessageKinds> deliveries_by_kind{};
+
+  bool operator==(const TraceCounters&) const = default;
 };
 
 /// One delivered-or-lost reception opportunity, recorded only when event

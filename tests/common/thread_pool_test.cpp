@@ -1,0 +1,107 @@
+// ThreadPool: the fan-out substrate of the Monte Carlo driver.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace radiocast {
+namespace {
+
+TEST(ThreadPoolTest, DefaultConcurrencyIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, EachTaskWritesItsOwnSlot) {
+  ThreadPool pool(4);
+  std::vector<int> out(256, -1);
+  for (int i = 0; i < 256; ++i) {
+    pool.submit([&out, i] { out[static_cast<std::size_t>(i)] = i * i; });
+  }
+  pool.wait_idle();
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(ThreadPoolTest, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) pool.submit([&count] { ++count; });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 10 * (batch + 1));
+  }
+}
+
+TEST(ThreadPoolTest, WaitIdleWithEmptyQueueReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++count;
+      });
+    }
+    // No wait_idle: the destructor must still run everything.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) pool.submit([&order, i] { order.push_back(i); });
+  pool.wait_idle();
+  std::vector<int> expect(20);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPoolTest, UsesMultipleWorkers) {
+  // With 4 workers and tasks that block until all workers arrive, the
+  // barrier can only clear if tasks genuinely run concurrently.
+  constexpr unsigned kWorkers = 4;
+  ThreadPool pool(kWorkers);
+  std::atomic<unsigned> arrived{0};
+  std::set<std::thread::id> ids;
+  std::mutex mu;
+  for (unsigned i = 0; i < kWorkers; ++i) {
+    pool.submit([&] {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+      }
+      ++arrived;
+      while (arrived.load() < kWorkers) std::this_thread::yield();
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ids.size(), kWorkers);
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,152 @@
+// Monte Carlo driver: trial-order reduction and, critically, the
+// determinism contract — a sweep run on N threads must be byte-identical
+// to the same sweep run sequentially.
+#include "core/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/uncoded_pipeline.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::core {
+namespace {
+
+TEST(ThreadsFromEnvTest, EnvOverridesFallback) {
+  ::setenv("RADIOCAST_BENCH_THREADS", "3", 1);
+  EXPECT_EQ(montecarlo::threads_from_env(7), 3);
+  ::unsetenv("RADIOCAST_BENCH_THREADS");
+  EXPECT_EQ(montecarlo::threads_from_env(7), 7);
+}
+
+TEST(ThreadsFromEnvTest, InvalidEnvFallsThrough) {
+  ::setenv("RADIOCAST_BENCH_THREADS", "bogus", 1);
+  EXPECT_EQ(montecarlo::threads_from_env(5), 5);
+  ::setenv("RADIOCAST_BENCH_THREADS", "-2", 1);
+  EXPECT_EQ(montecarlo::threads_from_env(5), 5);
+  ::unsetenv("RADIOCAST_BENCH_THREADS");
+  EXPECT_GE(montecarlo::threads_from_env(), 1);
+}
+
+TEST(MonteCarloRunTest, ResultsLandInTrialOrder) {
+  montecarlo::Options opts;
+  opts.threads = 4;
+  const std::vector<int> out =
+      montecarlo::run(64, [](int t) { return t * t; }, opts);
+  ASSERT_EQ(out.size(), 64u);
+  for (int t = 0; t < 64; ++t) EXPECT_EQ(out[static_cast<std::size_t>(t)], t * t);
+}
+
+TEST(MonteCarloRunTest, ZeroTrialsIsEmpty) {
+  EXPECT_TRUE(montecarlo::run(0, [](int) { return 1; }).empty());
+}
+
+TEST(MonteCarloRunTest, LowestIndexedFailureIsRethrown) {
+  montecarlo::Options opts;
+  opts.threads = 4;
+  try {
+    montecarlo::run_indexed(
+        16,
+        [](int t) {
+          if (t == 3 || t == 11) throw std::runtime_error("trial " + std::to_string(t));
+        },
+        opts);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "trial 3");
+  }
+}
+
+TEST(MonteCarloRunTest, SequentialPathAlsoThrows) {
+  montecarlo::Options opts;
+  opts.threads = 1;
+  EXPECT_THROW(
+      montecarlo::run_indexed(4, [](int t) { if (t == 2) throw std::logic_error("x"); },
+                              opts),
+      std::logic_error);
+}
+
+// --- Determinism: parallel == sequential, bit for bit. -------------------
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.delivered_all, b.delivered_all);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+  EXPECT_EQ(a.nodes_complete, b.nodes_complete);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.total_rounds, b.total_rounds);
+  EXPECT_EQ(a.stage1_rounds, b.stage1_rounds);
+  EXPECT_EQ(a.stage2_rounds, b.stage2_rounds);
+  EXPECT_EQ(a.stage3_rounds, b.stage3_rounds);
+  EXPECT_EQ(a.stage4_rounds, b.stage4_rounds);
+  EXPECT_EQ(a.leader_ok, b.leader_ok);
+  EXPECT_EQ(a.bfs_ok, b.bfs_ok);
+  EXPECT_EQ(a.collection_phases, b.collection_phases);
+  EXPECT_EQ(a.final_estimate, b.final_estimate);
+  EXPECT_EQ(a.counters, b.counters);  // TraceCounters::operator==
+}
+
+std::vector<RunResult> sweep_with_threads(const graph::Graph& g,
+                                          const KBroadcastConfig& cfg, int threads,
+                                          double loss) {
+  montecarlo::KBroadcastSweep sweep;
+  sweep.graph = &g;
+  sweep.cfg = cfg;
+  sweep.k = 8;
+  sweep.placement_seed = [](int s) { return 70 + static_cast<std::uint64_t>(s); };
+  sweep.run_seed = [](int s) { return 170 + static_cast<std::uint64_t>(s); };
+  if (loss > 0.0) {
+    sweep.faults = [loss](int s) {
+      radio::FaultModel fm;
+      fm.reception_loss_probability = loss;
+      fm.seed = 900 + static_cast<std::uint64_t>(s);
+      return fm;
+    };
+  }
+  montecarlo::Options opts;
+  opts.threads = threads;
+  return montecarlo::run_kbroadcast_sweep(sweep, 4, opts);
+}
+
+class SweepDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng grng(21);
+    g_ = graph::make_random_geometric(24, 0.35, grng);
+    know_ = radio::Knowledge::exact(g_);
+  }
+
+  void check(const KBroadcastConfig& cfg, double loss) {
+    const std::vector<RunResult> seq = sweep_with_threads(g_, cfg, 1, loss);
+    const std::vector<RunResult> par = sweep_with_threads(g_, cfg, 4, loss);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      SCOPED_TRACE("trial " + std::to_string(i));
+      // At least one trial must have actually done work, or the
+      // comparison is vacuous.
+      EXPECT_GT(seq[i].total_rounds, 0u);
+      expect_identical(seq[i], par[i]);
+    }
+  }
+
+  graph::Graph g_;
+  radio::Knowledge know_;
+};
+
+TEST_F(SweepDeterminismTest, CodedConfig) {
+  check(baselines::coded_config(know_), /*loss=*/0.0);
+}
+
+TEST_F(SweepDeterminismTest, UncodedPipelineConfig) {
+  check(baselines::uncoded_pipeline_config(know_), /*loss=*/0.0);
+}
+
+TEST_F(SweepDeterminismTest, CodedConfigWithFaults) {
+  check(baselines::coded_config(know_), /*loss=*/0.05);
+}
+
+}  // namespace
+}  // namespace radiocast::core
