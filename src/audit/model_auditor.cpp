@@ -1,0 +1,640 @@
+#include "audit/model_auditor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string_view>
+#include <variant>
+
+#include "common/assert.hpp"
+#include "core/dissemination.hpp"
+#include "core/protocol.hpp"
+#include "core/runner.hpp"
+#include "graph/algorithms.hpp"
+
+namespace radiocast::audit {
+
+namespace {
+
+/// Payload equality modulo trailing zero padding (GF(2) arithmetic may
+/// grow payloads to the group's max wire size).
+bool payload_eq_padded(const gf2::Payload& a, const gf2::Payload& b) {
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  for (std::size_t i = common; i < a.size(); ++i) {
+    if (a[i] != 0) return false;
+  }
+  for (std::size_t i = common; i < b.size(); ++i) {
+    if (b[i] != 0) return false;
+  }
+  return true;
+}
+
+const radio::Packet* find_packet(const std::vector<radio::Packet>& truth,
+                                 radio::PacketId id) {
+  const auto it = std::lower_bound(
+      truth.begin(), truth.end(), id,
+      [](const radio::Packet& p, radio::PacketId v) { return p.id < v; });
+  if (it == truth.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+}  // namespace
+
+std::string ModelAuditor::summary() const {
+  if (report_.clean()) return "clean";
+  std::ostringstream out;
+  out << report_.total() << " violation(s); first: ";
+  const Violation& v = report_.violations().front();
+  out << v.check << " @round " << v.round << " node " << v.node << " (" << v.detail
+      << ")";
+  return out.str();
+}
+
+void ModelAuditor::begin_run(const graph::Graph& g, const core::ResolvedConfig& rc,
+                             const std::vector<radio::Packet>& truth,
+                             const radio::FaultModel& faults,
+                             bool collision_detection) {
+  RC_ASSERT_MSG(g.finalized(), "auditor needs a finalized graph");
+  active_ = true;
+  graph_ = &g;
+  rc_ = rc;
+  truth_ = truth;
+  std::sort(truth_.begin(), truth_.end(),
+            [](const radio::Packet& a, const radio::Packet& b) { return a.id < b.id; });
+  faults_enabled_ = faults.reception_loss_probability > 0.0;
+  collision_detection_ = collision_detection;
+
+  // Recompute the Stage-4 group partition from the truth alone — the same
+  // sorted-by-id chunking DisseminationState::set_root_packets performs.
+  group_wires_.clear();
+  const std::uint32_t s = rc_.group_size;
+  for (std::size_t begin = 0; begin < truth_.size(); begin += s) {
+    const std::size_t end = std::min(truth_.size(), begin + s);
+    std::vector<gf2::Payload> wires;
+    wires.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      wires.push_back(core::packet_wire_image(truth_[i]));
+    }
+    group_wires_.push_back(std::move(wires));
+  }
+
+  const std::size_t n = g.num_nodes();
+  sim_started_ = false;
+  current_round_ = 0;
+  round_open_ = false;
+  awake_.assign(n, 0);
+  reach_.assign(n, 0);
+  source_.assign(n, 0);
+  transmitting_.assign(n, 0);
+  outcome_.assign(n, Outcome::kNone);
+  touched_.clear();
+  tx_from_.clear();
+  nodes_.assign(n, NodeState{});
+}
+
+void ModelAuditor::on_sim_start(const std::vector<radio::NodeId>& initially_awake) {
+  RC_ASSERT(active_);
+  sim_started_ = true;
+  for (const radio::NodeId id : initially_awake) {
+    if (id >= awake_.size()) {
+      violation(0, id, "radio.initial_wake_range", "initial wake out of range");
+      continue;
+    }
+    awake_[id] = 1;
+  }
+  // run_kbroadcast's contract: exactly the packet origins start awake.
+  std::vector<std::uint8_t> expected(awake_.size(), 0);
+  for (const radio::Packet& p : truth_) {
+    const radio::NodeId origin = radio::packet_origin(p.id);
+    if (origin < expected.size()) expected[origin] = 1;
+  }
+  for (radio::NodeId v = 0; v < expected.size(); ++v) {
+    if (expected[v] != awake_[v]) {
+      violation(0, v, "run.initial_wake_set",
+                expected[v] ? "packet origin not awake at start"
+                            : "non-participant awake at start");
+    }
+  }
+}
+
+void ModelAuditor::check_message_kind(radio::Round round, const radio::Message& tx) {
+  const std::uint32_t stage =
+      tx.from < nodes_.size() ? nodes_[tx.from].stage : 0;
+  bool ok = false;
+  const char* expected = "";
+  switch (stage) {
+    case 1:
+      ok = std::holds_alternative<radio::AlarmMsg>(tx.body);
+      expected = "alarm";
+      break;
+    case 2:
+      ok = std::holds_alternative<radio::BfsConstructMsg>(tx.body);
+      expected = "bfs";
+      break;
+    case 3:
+      ok = std::holds_alternative<radio::DataMsg>(tx.body) ||
+           std::holds_alternative<radio::AckMsg>(tx.body) ||
+           std::holds_alternative<radio::AlarmMsg>(tx.body);
+      expected = "data/ack/alarm";
+      break;
+    case 4:
+      ok = std::holds_alternative<radio::PlainPacketMsg>(tx.body) ||
+           std::holds_alternative<radio::CodedMsg>(tx.body);
+      expected = "plain/coded";
+      break;
+    default:
+      ok = false;
+      expected = "none (no stage reported)";
+      break;
+  }
+  if (!ok) {
+    violation(round, tx.from, "protocol.kind_vs_stage",
+              "kind '" + radio::message_kind(tx.body) + "' in stage " +
+                  std::to_string(stage) + " (allowed: " + expected + ")");
+  }
+}
+
+void ModelAuditor::check_message_payload(radio::Round round,
+                                         const radio::Message& tx) {
+  const auto check_packet = [&](const radio::Packet& p, const char* what) {
+    const radio::Packet* want = find_packet(truth_, p.id);
+    if (want == nullptr) {
+      violation(round, tx.from, "delivery.unknown_packet",
+                std::string(what) + " carries unknown packet id " +
+                    std::to_string(p.id));
+    } else if (want->payload != p.payload) {
+      violation(round, tx.from, "delivery.payload_corrupt",
+                std::string(what) + " payload differs from ground truth for id " +
+                    std::to_string(p.id));
+    }
+  };
+
+  if (const auto* data = std::get_if<radio::DataMsg>(&tx.body)) {
+    check_packet(data->packet, "DataMsg");
+    return;
+  }
+  if (const auto* plain = std::get_if<radio::PlainPacketMsg>(&tx.body)) {
+    check_packet(plain->packet, "PlainPacketMsg");
+    if (plain->group_count != group_wires_.size()) {
+      violation(round, tx.from, "delivery.group_count",
+                "PlainPacketMsg group_count " + std::to_string(plain->group_count) +
+                    " != " + std::to_string(group_wires_.size()));
+    }
+    return;
+  }
+  if (const auto* coded = std::get_if<radio::CodedMsg>(&tx.body)) {
+    if (coded->group_count != group_wires_.size() ||
+        coded->group_id >= group_wires_.size()) {
+      violation(round, tx.from, "delivery.group_count",
+                "CodedMsg group " + std::to_string(coded->group_id) + "/" +
+                    std::to_string(coded->group_count) + " vs true group count " +
+                    std::to_string(group_wires_.size()));
+      return;
+    }
+    const std::vector<gf2::Payload>& wires = group_wires_[coded->group_id];
+    if (coded->group_size != wires.size()) {
+      violation(round, tx.from, "delivery.group_size",
+                "CodedMsg group_size " + std::to_string(coded->group_size) +
+                    " != true size " + std::to_string(wires.size()));
+      return;
+    }
+    if (wires.size() < 64 && (coded->coeffs >> wires.size()) != 0) {
+      violation(round, tx.from, "delivery.coded_coeffs",
+                "coefficient bits beyond the group size");
+      return;
+    }
+    gf2::Payload expected;
+    for (std::size_t i = 0; i < wires.size(); ++i) {
+      if ((coded->coeffs >> i) & 1u) gf2::xor_into(expected, wires[i]);
+    }
+    if (!payload_eq_padded(expected, coded->payload)) {
+      violation(round, tx.from, "delivery.coded_payload",
+                "CodedMsg payload is not the GF(2) combination its header claims "
+                "(group " +
+                    std::to_string(coded->group_id) + ", coeffs " +
+                    std::to_string(coded->coeffs) + ")");
+    }
+  }
+}
+
+void ModelAuditor::on_transmissions(radio::Round round,
+                                    const std::vector<radio::Message>& txs) {
+  RC_ASSERT(active_);
+  if (round_open_) {
+    violation(round, 0, "radio.round_sequence", "round opened twice");
+  }
+  round_open_ = true;
+  current_round_ = round;
+  tx_from_.clear();
+
+  radio::NodeId prev_from = 0;
+  bool first = true;
+  for (const radio::Message& tx : txs) {
+    tx_from_.push_back(tx.from);
+    if (tx.from >= awake_.size()) {
+      violation(round, tx.from, "radio.tx_range", "transmitter id out of range");
+      continue;
+    }
+    if (!first && tx.from <= prev_from) {
+      violation(round, tx.from, "radio.tx_order",
+                "transmissions not in ascending transmitter order");
+    }
+    prev_from = tx.from;
+    first = false;
+    if (!awake_[tx.from]) {
+      violation(round, tx.from, "radio.sleeping_transmitter",
+                "transmission from a node the model says is asleep");
+    }
+    transmitting_[tx.from] = 1;
+    check_message_kind(round, tx);
+    check_message_payload(round, tx);
+  }
+
+  // Independent reach recount from the topology.
+  for (std::uint32_t t = 0; t < txs.size(); ++t) {
+    if (txs[t].from >= awake_.size()) continue;
+    for (const radio::NodeId v : graph_->neighbors(txs[t].from)) {
+      if (reach_[v]++ == 0) {
+        source_[v] = t;
+        touched_.push_back(v);
+      }
+    }
+  }
+}
+
+void ModelAuditor::on_deliver(radio::Round round, radio::NodeId receiver,
+                              std::uint32_t tx_index, const radio::Message& msg) {
+  RC_ASSERT(active_ && receiver < awake_.size());
+  if (reach_[receiver] != 1) {
+    violation(round, receiver, "radio.deliver_on_collision",
+              "delivery with " + std::to_string(reach_[receiver]) +
+                  " reaching transmissions (model: exactly 1)");
+  }
+  if (transmitting_[receiver]) {
+    violation(round, receiver, "radio.deliver_while_transmitting",
+              "delivery to a node that transmitted this round (half-duplex)");
+  }
+  if (tx_index >= tx_from_.size()) {
+    violation(round, receiver, "radio.deliver_source",
+              "delivery from out-of-range transmission index");
+  } else {
+    if (reach_[receiver] >= 1 && tx_index != source_[receiver]) {
+      violation(round, receiver, "radio.deliver_source",
+                "delivered transmission is not the reaching one");
+    }
+    if (msg.from != tx_from_[tx_index]) {
+      violation(round, receiver, "radio.deliver_source",
+                "message sender does not match the transmission slot");
+    }
+  }
+  if (outcome_[receiver] == Outcome::kNone) outcome_[receiver] = Outcome::kDelivered;
+}
+
+void ModelAuditor::on_collision_slot(radio::Round round, radio::NodeId receiver,
+                                     std::uint32_t reached, bool cd_callback) {
+  RC_ASSERT(active_ && receiver < awake_.size());
+  if (reached < 2 || reached != reach_[receiver]) {
+    violation(round, receiver, "radio.collision_count",
+              "collision slot reports " + std::to_string(reached) +
+                  " reaching, recount says " + std::to_string(reach_[receiver]));
+  }
+  if (transmitting_[receiver]) {
+    violation(round, receiver, "radio.collision_while_transmitting",
+              "collision outcome for a transmitting node (deaf slot expected)");
+  }
+  if (cd_callback != collision_detection_) {
+    violation(round, receiver, "radio.cd_ablation",
+              cd_callback ? "on_collision fired without the CD ablation"
+                          : "CD ablation enabled but no callback");
+  }
+  // Under the CD ablation the engine wakes the listener itself; that wake
+  // arrives as a separate on_node_wake, so no state change here.
+  if (outcome_[receiver] == Outcome::kNone) outcome_[receiver] = Outcome::kCollision;
+}
+
+void ModelAuditor::on_deaf_slot(radio::Round round, radio::NodeId receiver,
+                                std::uint32_t reached) {
+  RC_ASSERT(active_ && receiver < awake_.size());
+  if (!transmitting_[receiver]) {
+    violation(round, receiver, "radio.deaf_not_transmitting",
+              "deaf slot for a node that did not transmit");
+  }
+  if (reached == 0 || reached != reach_[receiver]) {
+    violation(round, receiver, "radio.deaf_count",
+              "deaf slot reports " + std::to_string(reached) +
+                  " reaching, recount says " + std::to_string(reach_[receiver]));
+  }
+  if (outcome_[receiver] == Outcome::kNone) outcome_[receiver] = Outcome::kDeaf;
+}
+
+void ModelAuditor::on_fault_drop(radio::Round round, radio::NodeId receiver,
+                                 std::uint32_t tx_index) {
+  RC_ASSERT(active_ && receiver < awake_.size());
+  if (!faults_enabled_) {
+    violation(round, receiver, "radio.fault_without_model",
+              "fault drop with reception_loss_probability == 0");
+  }
+  if (reach_[receiver] != 1 || transmitting_[receiver]) {
+    violation(round, receiver, "radio.fault_slot",
+              "fault erasure on a slot that was not a successful reception");
+  }
+  if (tx_index >= tx_from_.size() ||
+      (reach_[receiver] >= 1 && tx_index != source_[receiver])) {
+    violation(round, receiver, "radio.fault_source",
+              "fault drop does not reference the reaching transmission");
+  }
+  if (outcome_[receiver] == Outcome::kNone) outcome_[receiver] = Outcome::kFaultDrop;
+}
+
+void ModelAuditor::on_node_wake(radio::Round round, radio::NodeId node) {
+  RC_ASSERT(active_ && node < awake_.size());
+  if (awake_[node]) {
+    violation(round, node, "radio.double_wake", "wake event for an awake node");
+  }
+  awake_[node] = 1;
+}
+
+void ModelAuditor::on_round_end(radio::Round round) {
+  RC_ASSERT(active_);
+  if (!round_open_ || round != current_round_) {
+    violation(round, 0, "radio.round_sequence",
+              "round end does not match the opened round");
+  }
+  round_open_ = false;
+
+  for (const radio::NodeId v : touched_) {
+    const std::uint32_t reached = reach_[v];
+    const Outcome got = outcome_[v];
+    Outcome want = Outcome::kNone;
+    if (transmitting_[v]) {
+      want = Outcome::kDeaf;
+    } else if (reached >= 2) {
+      want = Outcome::kCollision;
+    } else {
+      // Exactly one reaching transmission, silent receiver: the model says
+      // deliver; with the fault ablation the slot may be erased instead.
+      want = Outcome::kDelivered;
+    }
+    const bool ok =
+        got == want || (want == Outcome::kDelivered &&
+                        got == Outcome::kFaultDrop && faults_enabled_);
+    if (!ok) {
+      const auto name = [](Outcome o) {
+        switch (o) {
+          case Outcome::kNone: return "none";
+          case Outcome::kDelivered: return "delivered";
+          case Outcome::kCollision: return "collision";
+          case Outcome::kDeaf: return "deaf";
+          case Outcome::kFaultDrop: return "fault-drop";
+        }
+        return "?";
+      };
+      violation(round, v, "radio.outcome",
+                std::string("expected ") + name(want) + ", engine reported " +
+                    name(got) + " (" + std::to_string(reached) + " reaching)");
+    }
+    if (got == Outcome::kDelivered && !awake_[v]) {
+      violation(round, v, "radio.wake_on_reception",
+                "node received a message but was never woken");
+    }
+    reach_[v] = 0;
+    outcome_[v] = Outcome::kNone;
+  }
+  touched_.clear();
+  for (const radio::NodeId from : tx_from_) {
+    if (from < transmitting_.size()) transmitting_[from] = 0;
+  }
+}
+
+void ModelAuditor::on_stage_enter(radio::NodeId node, std::uint32_t stage_index,
+                                  radio::Round boundary_round) {
+  RC_ASSERT(active_ && node < nodes_.size());
+  NodeState& st = nodes_[node];
+  if (stage_index < 1 || stage_index > 4 || stage_index <= st.stage) {
+    violation(current_round_, node, "protocol.stage_monotonicity",
+              "stage " + std::to_string(stage_index) + " after stage " +
+                  std::to_string(st.stage));
+    st.stage = std::max(st.stage, stage_index);
+    return;
+  }
+  std::uint64_t expected = 0;
+  bool check_boundary = true;
+  switch (stage_index) {
+    case 1:
+      expected = 0;
+      break;
+    case 2:
+      expected = rc_.stage1_rounds;
+      break;
+    case 3:
+      expected = rc_.stage3_start();
+      break;
+    case 4:
+      // The node's own schedule: Stage 4 starts exactly where its recorded
+      // collection ended, and only after an alarm-free phase.
+      if (!st.has_ended_phase) {
+        violation(current_round_, node, "protocol.stage4_boundary",
+                  "entered dissemination without a recorded collection finish");
+        check_boundary = false;
+      } else {
+        expected = st.last_phase_end;
+        if (st.last_phase_alarmed) {
+          violation(current_round_, node, "protocol.stage4_after_alarm",
+                    "entered dissemination after an alarmed phase");
+        }
+      }
+      break;
+    default:
+      check_boundary = false;
+      break;
+  }
+  if (check_boundary && boundary_round != expected) {
+    violation(current_round_, node,
+              stage_index == 4 ? "protocol.stage4_boundary"
+                               : "protocol.stage_boundary",
+              "stage " + std::to_string(stage_index) + " boundary " +
+                  std::to_string(boundary_round) + ", schedule says " +
+                  std::to_string(expected));
+  }
+  st.stage = stage_index;
+}
+
+void ModelAuditor::on_collection_phase_begin(radio::NodeId node,
+                                             std::uint32_t phase_index,
+                                             std::uint64_t estimate,
+                                             radio::Round round) {
+  RC_ASSERT(active_ && node < nodes_.size());
+  NodeState& st = nodes_[node];
+  if (st.in_phase) {
+    violation(round, node, "protocol.phase_nesting",
+              "phase begins inside an unfinished phase");
+  }
+  if (phase_index != st.next_phase_index) {
+    violation(round, node, "protocol.phase_index",
+              "phase " + std::to_string(phase_index) + ", expected " +
+                  std::to_string(st.next_phase_index));
+  }
+  const std::uint64_t expected_estimate =
+      phase_index < 63 ? rc_.initial_estimate << phase_index : 0;
+  if (estimate != expected_estimate) {
+    violation(round, node, "protocol.estimate_doubling",
+              "estimate " + std::to_string(estimate) + " at phase " +
+                  std::to_string(phase_index) + ", schedule says " +
+                  std::to_string(expected_estimate) + " (x0 doubled per phase)");
+  }
+  const std::uint64_t expected_start =
+      st.has_ended_phase ? st.last_phase_end : rc_.stage3_start();
+  if (round != expected_start) {
+    violation(round, node, "protocol.phase_boundary",
+              "phase starts at " + std::to_string(round) + ", schedule says " +
+                  std::to_string(expected_start));
+  }
+  if (st.has_ended_phase && !st.last_phase_alarmed) {
+    violation(round, node, "protocol.phase_after_quiet",
+              "new phase after an alarm-free phase (stage should have ended)");
+  }
+  st.in_phase = true;
+  st.estimate = estimate;
+  st.phase_start = round;
+  st.windows = core::grab_windows(estimate, rc_);
+  st.next_window = 0;
+  st.expected_phase_end =
+      round + st.windows.back().end() + rc_.alarm_rounds;
+}
+
+void ModelAuditor::on_collection_epoch(radio::NodeId node, const char* kind,
+                                       std::uint64_t slots, std::uint32_t copies,
+                                       radio::Round round) {
+  RC_ASSERT(active_ && node < nodes_.size());
+  NodeState& st = nodes_[node];
+  if (!st.in_phase) {
+    violation(round, node, "protocol.epoch_outside_phase",
+              "epoch event outside any phase");
+    return;
+  }
+  const std::string_view k(kind);
+  if (k == "alarm") {
+    const std::uint64_t expected = st.phase_start + st.windows.back().end();
+    if (round != expected) {
+      violation(round, node, "protocol.alarm_round",
+                "alarm window at " + std::to_string(round) + ", schedule says " +
+                    std::to_string(expected));
+    }
+    // The alarm epoch consumes whatever gather windows remain (a node woken
+    // mid-phase may not have reported them all); none may follow it.
+    st.next_window = st.windows.size();
+    return;
+  }
+  if (st.next_window >= st.windows.size()) {
+    violation(round, node, "protocol.epoch_overflow",
+              "gather window after the schedule's last one");
+    return;
+  }
+  const core::GatherWindow& w = st.windows[st.next_window];
+  const std::string_view expected_kind = w.copies > 1 ? "mspg" : "ospg";
+  if (k != expected_kind || slots != w.slots || copies != w.copies ||
+      round != st.phase_start + w.start) {
+    violation(round, node, "protocol.gather_window",
+              "window " + std::to_string(st.next_window) + " is " +
+                  std::string(k) + "(" + std::to_string(slots) + "," +
+                  std::to_string(copies) + ")@" + std::to_string(round) +
+                  ", schedule says " + std::string(expected_kind) + "(" +
+                  std::to_string(w.slots) + "," + std::to_string(w.copies) +
+                  ")@" + std::to_string(st.phase_start + w.start));
+  }
+  ++st.next_window;
+}
+
+void ModelAuditor::on_collection_phase_end(radio::NodeId node, radio::Round round,
+                                           bool alarmed) {
+  RC_ASSERT(active_ && node < nodes_.size());
+  NodeState& st = nodes_[node];
+  if (!st.in_phase) {
+    violation(round, node, "protocol.phase_nesting", "phase end without begin");
+    return;
+  }
+  if (round != st.expected_phase_end) {
+    violation(round, node, "protocol.phase_rounds",
+              "phase ends at " + std::to_string(round) + ", budget says " +
+                  std::to_string(st.expected_phase_end) + " (GRAB(" +
+                  std::to_string(st.estimate) + ") + ALARM)");
+  }
+  st.in_phase = false;
+  ++st.next_phase_index;
+  st.has_ended_phase = true;
+  st.last_phase_end = round;
+  st.last_phase_alarmed = alarmed;
+}
+
+void ModelAuditor::end_run(const radio::Network& net,
+                           const core::RunResult& result) {
+  RC_ASSERT(active_);
+  active_ = false;
+  const radio::Round round = net.current_round();
+  const radio::NodeId n = net.num_nodes();
+
+  // --- Leader uniqueness + BFS layers vs true graph distances ---
+  std::vector<radio::NodeId> leaders;
+  for (radio::NodeId v = 0; v < n; ++v) {
+    const auto& node = static_cast<const core::KBroadcastNode&>(net.protocol(v));
+    if (node.is_leader()) leaders.push_back(v);
+  }
+  if (leaders.size() != 1) {
+    violation(round, leaders.empty() ? 0 : leaders[1], "protocol.unique_leader",
+              std::to_string(leaders.size()) + " nodes consider themselves leader");
+  }
+  if (!leaders.empty()) {
+    const graph::BfsResult bfs = graph::bfs(*graph_, leaders.front());
+    for (radio::NodeId v = 0; v < n; ++v) {
+      if (bfs.dist[v] == graph::kUnreachable) continue;
+      const auto& node = static_cast<const core::KBroadcastNode&>(net.protocol(v));
+      if (v == leaders.front()) continue;
+      if (!node.has_bfs_distance()) {
+        violation(round, v, "protocol.bfs_layer",
+                  "reachable node never joined the BFS tree");
+        continue;
+      }
+      if (node.bfs_distance() != bfs.dist[v]) {
+        violation(round, v, "protocol.bfs_layer",
+                  "BFS layer " + std::to_string(node.bfs_distance()) +
+                      ", true distance " + std::to_string(bfs.dist[v]));
+      }
+      const radio::NodeId parent = node.bfs_parent();
+      if (parent >= n || bfs.dist[parent] + 1 != node.bfs_distance() ||
+          !graph_->has_edge(v, parent)) {
+        violation(round, v, "protocol.bfs_parent",
+                  "BFS parent " + std::to_string(parent) +
+                      " is not a neighbor one layer up");
+      }
+    }
+  }
+
+  // --- Delivery claims vs an independent per-node recheck ---
+  std::uint32_t complete = 0;
+  for (radio::NodeId v = 0; v < n; ++v) {
+    const auto& node = static_cast<const core::KBroadcastNode&>(net.protocol(v));
+    std::vector<radio::Packet> got = node.delivered_packets();
+    std::sort(got.begin(), got.end(),
+              [](const radio::Packet& a, const radio::Packet& b) {
+                return a.id < b.id;
+              });
+    if (got == truth_) ++complete;
+  }
+  if (complete != result.nodes_complete) {
+    violation(round, 0, "delivery.result_mismatch",
+              "RunResult claims " + std::to_string(result.nodes_complete) +
+                  " complete nodes, recheck counts " + std::to_string(complete));
+  }
+  if (result.delivered_all != (complete == n)) {
+    violation(round, 0, "delivery.result_mismatch",
+              "RunResult.delivered_all disagrees with the per-node recheck");
+  }
+  if (result.delivered_all && result.timed_out) {
+    violation(round, 0, "delivery.result_mismatch",
+              "delivered_all and timed_out are both set");
+  }
+}
+
+}  // namespace radiocast::audit

@@ -1,0 +1,57 @@
+#include "audit/statfit.hpp"
+
+#include <cmath>
+
+namespace radiocast::audit {
+
+namespace {
+double log2_at_least_one(double v) { return std::max(1.0, std::log2(std::max(2.0, v))); }
+}  // namespace
+
+double theorem2_feature_k(const TheoremPoint& p) {
+  return p.k * log2_at_least_one(p.max_degree);
+}
+
+double theorem2_feature_overhead(const TheoremPoint& p) {
+  const double log_n = log2_at_least_one(p.n);
+  return (p.diameter + log_n) * log_n * log2_at_least_one(p.max_degree);
+}
+
+double theorem2_predict(const TheoremFit& fit, const TheoremPoint& p) {
+  return fit.a * theorem2_feature_k(p) + fit.b * theorem2_feature_overhead(p);
+}
+
+TheoremFit fit_theorem2(const std::vector<TheoremPoint>& points) {
+  TheoremFit fit;
+  // Normal equations for rounds ~ a·f1 + b·f2 (no intercept: the bound has
+  // none, and an intercept would let a constant-factor regression hide).
+  double s11 = 0, s12 = 0, s22 = 0, sy1 = 0, sy2 = 0;
+  for (const TheoremPoint& p : points) {
+    const double f1 = theorem2_feature_k(p);
+    const double f2 = theorem2_feature_overhead(p);
+    s11 += f1 * f1;
+    s12 += f1 * f2;
+    s22 += f2 * f2;
+    sy1 += f1 * p.rounds;
+    sy2 += f2 * p.rounds;
+  }
+  const double det = s11 * s22 - s12 * s12;
+  if (points.size() < 2 || std::abs(det) < 1e-9 * std::max(1.0, s11 * s22)) {
+    return fit;  // degenerate grid: features collinear or too few points
+  }
+  fit.a = (sy1 * s22 - sy2 * s12) / det;
+  fit.b = (sy2 * s11 - sy1 * s12) / det;
+  fit.ok = true;
+
+  double sum_rel = 0;
+  for (const TheoremPoint& p : points) {
+    const double pred = theorem2_predict(fit, p);
+    const double rel = std::abs(pred - p.rounds) / std::max(1.0, p.rounds);
+    sum_rel += rel;
+    fit.max_rel_residual = std::max(fit.max_rel_residual, rel);
+  }
+  fit.mean_rel_residual = sum_rel / static_cast<double>(points.size());
+  return fit;
+}
+
+}  // namespace radiocast::audit

@@ -1,0 +1,54 @@
+// Theorem-2 shape fitting for the statistical regression checker.
+//
+// The paper's main bound (Theorem 2) is
+//
+//   rounds = O( k·logΔ + (D + log n)·log n·logΔ )
+//
+// so measured completion times over an (n, D, Δ, k) grid should be well
+// explained by a two-parameter linear model
+//
+//   rounds ≈ a·f1 + b·f2,   f1 = k·log₂Δ,   f2 = (D + log₂n)·log₂n·log₂Δ.
+//
+// fit_theorem2 solves the 2x2 least-squares normal equations in closed
+// form and reports the coefficients plus relative residuals. The
+// statistical test (tests/audit/statistical_test.cpp) pins empirical
+// confidence bands on both: a regression that breaks the shape (e.g. a
+// k·D term sneaking in) blows up the residuals, and a uniform slowdown
+// blows up the coefficients.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace radiocast::audit {
+
+/// One grid cell: topology parameters, packet count, and the measured
+/// mean completion rounds over a seed corpus.
+struct TheoremPoint {
+  double n = 0;
+  double diameter = 0;
+  double max_degree = 0;
+  double k = 0;
+  double rounds = 0;
+};
+
+struct TheoremFit {
+  bool ok = false;  ///< false if the grid is degenerate (singular system)
+  double a = 0;     ///< coefficient of k·logΔ
+  double b = 0;     ///< coefficient of (D+log n)·log n·logΔ
+  double max_rel_residual = 0;   ///< max |pred-obs| / obs over the grid
+  double mean_rel_residual = 0;  ///< mean |pred-obs| / obs
+};
+
+/// f1 = k·log₂Δ (the per-packet collection/dissemination term).
+double theorem2_feature_k(const TheoremPoint& p);
+/// f2 = (D+log₂n)·log₂n·log₂Δ (the fixed schedule overhead term).
+double theorem2_feature_overhead(const TheoremPoint& p);
+/// Model prediction a·f1 + b·f2.
+double theorem2_predict(const TheoremFit& fit, const TheoremPoint& p);
+
+/// Least-squares fit of rounds against the two Theorem-2 features.
+/// Requires at least two points with non-collinear features.
+TheoremFit fit_theorem2(const std::vector<TheoremPoint>& points);
+
+}  // namespace radiocast::audit

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "core/audit.hpp"
 
 namespace radiocast::core {
 
@@ -52,6 +53,11 @@ void CollectionState::begin_phase(std::uint64_t phase_start) {
     cfg_.observer->on_collection_phase_begin(
         phase_index_, estimate_, cfg_.observer_round_offset + phase_start_);
   }
+  if (cfg_.audit != nullptr) {
+    cfg_.audit->on_collection_phase_begin(
+        cfg_.audit_node, phase_index_, estimate_,
+        cfg_.observer_round_offset + phase_start_);
+  }
   begin_window(0);
 }
 
@@ -61,6 +67,11 @@ void CollectionState::begin_window(std::size_t window_index) {
   if (cfg_.observer != nullptr) {
     cfg_.observer->on_collection_epoch(
         w.copies > 1 ? "mspg" : "ospg", w.slots, w.copies,
+        cfg_.observer_round_offset + phase_start_ + w.start);
+  }
+  if (cfg_.audit != nullptr) {
+    cfg_.audit->on_collection_epoch(
+        cfg_.audit_node, w.copies > 1 ? "mspg" : "ospg", w.slots, w.copies,
         cfg_.observer_round_offset + phase_start_ + w.start);
   }
   start_schedule_.clear();
@@ -90,6 +101,10 @@ void CollectionState::advance(std::uint64_t rel_round) {
         cfg_.observer->on_collection_phase_end(
             cfg_.observer_round_offset + phase_end_, alarmed);
       }
+      if (cfg_.audit != nullptr) {
+        cfg_.audit->on_collection_phase_end(
+            cfg_.audit_node, cfg_.observer_round_offset + phase_end_, alarmed);
+      }
       if (alarmed) {
         estimate_ *= 2;
         ++phase_index_;
@@ -108,6 +123,10 @@ void CollectionState::advance(std::uint64_t rel_round) {
         if (cfg_.observer != nullptr) {
           cfg_.observer->on_collection_epoch(
               "alarm", 0, 0, cfg_.observer_round_offset + grab_end_);
+        }
+        if (cfg_.audit != nullptr) {
+          cfg_.audit->on_collection_epoch(
+              cfg_.audit_node, "alarm", 0, 0, cfg_.observer_round_offset + grab_end_);
         }
       }
       return;

@@ -33,6 +33,8 @@
 
 namespace radiocast::core {
 
+class ProtocolAuditSink;
+
 class CollectionState {
  public:
   struct Config {
@@ -42,8 +44,14 @@ class CollectionState {
     /// boundaries are the run's).
     obs::RunObserver* observer = nullptr;
     /// Absolute round of this stage's start — converts the relative rounds
-    /// this state machine runs on into run-global rounds for the observer.
+    /// this state machine runs on into run-global rounds for the observer
+    /// and the audit sink.
     std::uint64_t observer_round_offset = 0;
+    /// Optional model-conformance audit sink, fed the same phase/epoch
+    /// boundaries as the observer but on *every* node, tagged with
+    /// `audit_node`.
+    ProtocolAuditSink* audit = nullptr;
+    radio::NodeId audit_node = 0;
   };
 
   /// `parent` is this node's BFS parent (nullopt if the node never joined

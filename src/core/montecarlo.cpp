@@ -71,9 +71,10 @@ std::vector<RunResult> run_kbroadcast_sweep(const KBroadcastSweep& sweep,
             sweep.faults ? sweep.faults(t) : radio::FaultModel{};
         obs::RunObserver* observer =
             sweep.observer ? sweep.observer(t) : nullptr;
+        RunAuditor* auditor = sweep.auditor ? sweep.auditor(t) : nullptr;
         return run_kbroadcast(*sweep.graph, sweep.cfg, placement,
                               sweep.run_seed(t), sweep.max_rounds, faults,
-                              observer);
+                              observer, auditor, sweep.collision_detection);
       },
       opts);
 }

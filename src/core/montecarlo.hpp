@@ -80,6 +80,12 @@ struct KBroadcastSweep {
   /// Optional per-trial observer; the pointer must stay valid for the
   /// duration of the sweep (empty = no observer).
   std::function<obs::RunObserver*(int)> observer;
+  /// Optional per-trial model-conformance auditor; same lifetime contract
+  /// as `observer`. Distinct trials must get distinct auditors when the
+  /// sweep runs multithreaded (empty = no auditing).
+  std::function<RunAuditor*(int)> auditor;
+  /// Engine ablation: run every trial with collision detection enabled.
+  bool collision_detection = false;
 };
 
 /// Runs `trials` independent k-broadcast trials; results in trial order.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "core/audit.hpp"
 
 namespace radiocast::core {
 
@@ -52,6 +53,8 @@ void KBroadcastNode::ensure_stage(radio::Round round) {
     CollectionState::Config cfg{rc_};
     cfg.observer = observer_;
     cfg.observer_round_offset = stage3_start_;
+    cfg.audit = audit_;
+    cfg.audit_node = self_;
     std::optional<radio::NodeId> parent;
     const bool is_root = leader_.is_leader();
     if (!is_root && bfs_.has_value() && bfs_->has_distance()) {
@@ -61,6 +64,12 @@ void KBroadcastNode::ensure_stage(radio::Round round) {
   }
   if (collection_.has_value() && stage3_end_ == 0 && collection_->finished()) {
     stage3_end_ = stage3_start_ + collection_->finished_at();
+    if (mutations_.early_stage4_rounds != 0) {
+      // Seeded bug: pretend collection ended earlier than its schedule says.
+      const std::uint64_t cut =
+          std::min(mutations_.early_stage4_rounds, collection_->finished_at() - 1);
+      stage3_end_ -= cut;
+    }
   }
   if (stage3_end_ != 0 && round >= stage3_end_ && !dissemination_.has_value()) {
     DisseminationState::Config cfg{rc_};
@@ -76,24 +85,40 @@ void KBroadcastNode::ensure_stage(radio::Round round) {
 }
 
 void KBroadcastNode::report_stage(radio::Round round) {
-  if (observer_ == nullptr) return;
+  if (observer_ == nullptr && audit_ == nullptr) return;
   const Stage s = stage_for(round);
   if (reported_stage_.has_value() && *reported_stage_ == s) return;
   reported_stage_ = s;
+  std::uint32_t index = 0;
+  const char* name = nullptr;
+  radio::Round boundary = 0;
   switch (s) {
     case Stage::kLeader:
-      observer_->on_stage(1, "stage1.leader", 0);
-      return;
+      index = 1, name = "stage1.leader", boundary = 0;
+      break;
     case Stage::kBfs:
-      observer_->on_stage(2, "stage2.bfs", stage2_start_);
-      return;
+      index = 2, name = "stage2.bfs", boundary = stage2_start_;
+      break;
     case Stage::kCollection:
-      observer_->on_stage(3, "stage3.collection", stage3_start_);
-      return;
+      index = 3, name = "stage3.collection", boundary = stage3_start_;
+      break;
     case Stage::kDissemination:
-      observer_->on_stage(4, "stage4.dissemination", stage3_end_);
-      return;
+      index = 4, name = "stage4.dissemination", boundary = stage3_end_;
+      break;
   }
+  if (observer_ != nullptr) observer_->on_stage(index, name, boundary);
+  if (audit_ != nullptr) audit_->on_stage_enter(self_, index, boundary);
+}
+
+std::optional<radio::MessageBody> KBroadcastNode::apply_mutations(
+    std::optional<radio::MessageBody> msg) const {
+  if (mutations_.corrupt_coded_payload && msg.has_value()) {
+    if (auto* coded = std::get_if<radio::CodedMsg>(&*msg);
+        coded != nullptr && !coded->payload.empty()) {
+      coded->payload[0] ^= 1;  // seeded bug: transmit an unsound combination
+    }
+  }
+  return msg;
 }
 
 std::optional<radio::MessageBody> KBroadcastNode::on_transmit(radio::Round round) {
@@ -104,8 +129,13 @@ std::optional<radio::MessageBody> KBroadcastNode::on_transmit(radio::Round round
   switch (stage_for(round)) {
     case Stage::kLeader:
       return leader_.on_transmit(round);
-    case Stage::kBfs:
-      return bfs_->on_transmit(round - stage2_start_);
+    case Stage::kBfs: {
+      auto msg = bfs_->on_transmit(round - stage2_start_);
+      // Seeded bug: drop every scheduled BFS transmission (the state
+      // machine still advances, so the node believes it participated).
+      if (mutations_.suppress_bfs_transmit) return std::nullopt;
+      return msg;
+    }
     case Stage::kCollection: {
       auto msg = collection_->on_transmit(round - stage3_start_);
       // Collection may have just flipped to finished at exactly this round;
@@ -114,12 +144,12 @@ std::optional<radio::MessageBody> KBroadcastNode::on_transmit(radio::Round round
       if (stage_for(round) == Stage::kDissemination) {
         RC_ASSERT(!msg.has_value());
         report_stage(round);
-        return dissemination_->on_transmit(round - stage3_end_);
+        return apply_mutations(dissemination_->on_transmit(round - stage3_end_));
       }
       return msg;
     }
     case Stage::kDissemination:
-      return dissemination_->on_transmit(round - stage3_end_);
+      return apply_mutations(dissemination_->on_transmit(round - stage3_end_));
   }
   return std::nullopt;
 }

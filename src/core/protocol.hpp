@@ -30,13 +30,31 @@
 
 namespace radiocast::core {
 
+class ProtocolAuditSink;
+
 class KBroadcastNode final : public radio::NodeProtocol {
  public:
+  /// Test-only protocol mutations. Each field seeds one deliberate protocol
+  /// bug so the audit tests can prove the ModelAuditor catches it (see
+  /// tests/audit/mutation_test.cpp). All zero in production.
+  struct TestMutations {
+    /// "Skipped Decay phase": the node silently drops every Stage-2 BFS
+    /// construction transmission it was scheduled to make.
+    bool suppress_bfs_transmit = false;
+    /// Premature stage advance: the node enters Stage 4 this many rounds
+    /// before its collection schedule actually ended.
+    std::uint64_t early_stage4_rounds = 0;
+    /// Unsound coding: flip the first payload bit of every CodedMsg this
+    /// node transmits.
+    bool corrupt_coded_payload = false;
+  };
+
   KBroadcastNode(const ResolvedConfig& rc, radio::NodeId self,
                  std::vector<radio::Packet> own_packets, Rng rng);
 
   std::optional<radio::MessageBody> on_transmit(radio::Round round) override;
   void on_receive(radio::Round round, const radio::Message& msg) override;
+  void on_collision(radio::Round /*round*/) override { ++collisions_observed_; }
   bool done() const override;
 
   // --- Introspection for runners, tests and benches ---
@@ -63,6 +81,20 @@ class KBroadcastNode final : public radio::NodeProtocol {
   /// whose schedule view is the run's. Must be set before the run starts.
   void set_observer(obs::RunObserver* observer) { observer_ = observer; }
 
+  /// Attaches a model-conformance audit sink (nullptr detaches). Unlike
+  /// the observer, the sink is wired on *every* node, so the auditor can
+  /// check cross-node schedule agreement. Must be set before the run
+  /// starts; the sink must outlive the node.
+  void set_audit_sink(ProtocolAuditSink* sink) { audit_ = sink; }
+
+  /// Installs test-only protocol mutations. Must be set before the run
+  /// starts.
+  void set_test_mutations(const TestMutations& mutations) { mutations_ = mutations; }
+
+  /// Number of on_collision callbacks this node received (nonzero only
+  /// under the collision-detection ablation).
+  std::uint64_t collisions_observed() const { return collisions_observed_; }
+
   /// All packets this node holds at the moment of the call.
   std::vector<radio::Packet> delivered_packets() const;
 
@@ -71,10 +103,13 @@ class KBroadcastNode final : public radio::NodeProtocol {
   Stage stage_for(radio::Round round) const;
   /// Creates stage state lazily when the schedule crosses a boundary.
   void ensure_stage(radio::Round round);
-  /// Reports a stage transition to the observer, once per stage, stamped
-  /// with the schedule's boundary round (not the observation round) so
-  /// stage spans tile the run exactly.
+  /// Reports a stage transition to the observer and audit sink, once per
+  /// stage, stamped with the schedule's boundary round (not the
+  /// observation round) so stage spans tile the run exactly.
   void report_stage(radio::Round round);
+  /// Applies test-only outgoing-message mutations (no-op in production).
+  std::optional<radio::MessageBody> apply_mutations(
+      std::optional<radio::MessageBody> msg) const;
 
   ResolvedConfig rc_;
   radio::NodeId self_;
@@ -91,7 +126,11 @@ class KBroadcastNode final : public radio::NodeProtocol {
   std::optional<DisseminationState> dissemination_;
 
   obs::RunObserver* observer_ = nullptr;
-  /// Last stage reported to the observer (none before the first report).
+  ProtocolAuditSink* audit_ = nullptr;
+  TestMutations mutations_;
+  std::uint64_t collisions_observed_ = 0;
+  /// Last stage reported to the observer/audit sink (none before the
+  /// first report).
   std::optional<Stage> reported_stage_;
 };
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/assert.hpp"
+#include "core/audit.hpp"
 #include "core/protocol.hpp"
 #include "core/schedule.hpp"
 #include "graph/algorithms.hpp"
@@ -74,7 +75,8 @@ bool holds_all(std::vector<radio::Packet> got, const std::vector<radio::Packet>&
 RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
                          const Placement& placement, std::uint64_t seed,
                          std::uint64_t max_rounds, const radio::FaultModel& faults,
-                         obs::RunObserver* observer) {
+                         obs::RunObserver* observer, RunAuditor* auditor,
+                         bool collision_detection) {
   RC_ASSERT(g.finalized());
   RC_ASSERT(placement.size() == g.num_nodes());
   const ResolvedConfig rc = resolve(cfg);
@@ -102,14 +104,21 @@ RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
     if (!placement[v].empty()) expected_leader = std::max(expected_leader, v);
   }
 
+  if (auditor != nullptr) {
+    auditor->begin_run(g, rc, truth, faults, collision_detection);
+  }
+
   radio::Network net(g);
   if (faults.reception_loss_probability > 0.0) net.set_fault_model(faults);
+  if (collision_detection) net.enable_collision_detection(true);
   net.set_observer(observer);
+  net.set_auditor(auditor);
   Rng master(seed);
   for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
     Rng child = master.split();
     auto node = std::make_unique<KBroadcastNode>(rc, v, placement[v], child);
     if (observer != nullptr && v == expected_leader) node->set_observer(observer);
+    if (auditor != nullptr) node->set_audit_sink(auditor);
     net.set_protocol(v, std::move(node));
     if (!placement[v].empty()) net.wake_at_start(v);
   }
@@ -161,6 +170,7 @@ RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
     result.collection_phases = coll->phases_run();
     result.final_estimate = coll->estimate();
   }
+  if (auditor != nullptr) auditor->end_run(net, result);
   return result;
 }
 

@@ -21,6 +21,8 @@
 
 namespace radiocast::core {
 
+class RunAuditor;
+
 /// How the k packets are spread over the nodes initially.
 enum class PlacementMode {
   kRandom,        ///< each packet lands on an independently uniform node
@@ -77,10 +79,20 @@ struct RunResult {
 /// collection phases > OSPG/MSPG/ALARM epochs) and labelled metrics; the
 /// runner wires it to the network and to the expected leader's protocol,
 /// closes all spans at the end, and copies the metrics into the result.
+/// `auditor`, when non-null, gets begin_run before the network is built,
+/// every engine/protocol audit event during the run (the runner wires it
+/// to the network and to *every* node), and end_run with the final result;
+/// auditing is read-only, so an audited run is bit-identical to an
+/// unaudited one. `collision_detection` forwards the engine ablation flag
+/// (see radio::Network::enable_collision_detection).
+/// Note: a run with zero packets returns vacuously without building a
+/// network, so the auditor is never invoked for it.
 RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
                          const Placement& placement, std::uint64_t seed,
                          std::uint64_t max_rounds = 0,
                          const radio::FaultModel& faults = {},
-                         obs::RunObserver* observer = nullptr);
+                         obs::RunObserver* observer = nullptr,
+                         RunAuditor* auditor = nullptr,
+                         bool collision_detection = false);
 
 }  // namespace radiocast::core

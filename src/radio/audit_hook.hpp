@@ -1,0 +1,70 @@
+// NetworkAuditHook — the engine-side tap of the model-conformance auditor.
+//
+// A hook installed via Network::set_auditor sees, every round, the raw
+// transmission set (after the engine collected all on_transmit decisions)
+// followed by one event per reception outcome the engine produced. The
+// hook is strictly an observer: it owns no RNG draws and cannot alter the
+// round, so an audited run is bit-identical to an unaudited one. When no
+// hook is installed the only per-round cost is a handful of null checks.
+//
+// The intended consumer is audit::ModelAuditor, which recomputes every
+// outcome independently from the transmission set and the topology and
+// cross-checks the engine (see src/audit/). The interface lives in the
+// radio layer so the engine never depends on the audit subsystem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radio/message.hpp"
+#include "radio/node.hpp"
+
+namespace radiocast::radio {
+
+class NetworkAuditHook {
+ public:
+  virtual ~NetworkAuditHook() = default;
+
+  /// Fired once, inside the first step() before any protocol callback,
+  /// with the ids flagged by wake_at_start (ascending order not
+  /// guaranteed). All other nodes are asleep at this point.
+  virtual void on_sim_start(const std::vector<NodeId>& initially_awake) = 0;
+
+  /// The complete transmission set of round `round`, in ascending
+  /// transmitter-id order, exactly as the engine will apply the collision
+  /// rule to it. The vector is owned by the engine and valid until the
+  /// end of the current step() only.
+  virtual void on_transmissions(Round round, const std::vector<Message>& txs) = 0;
+
+  /// Node `receiver` got `msg` delivered (`tx_index` indexes into this
+  /// round's transmission set). Fired before the receiver's wake /
+  /// on_receive callbacks.
+  virtual void on_deliver(Round round, NodeId receiver, std::uint32_t tx_index,
+                          const Message& msg) = 0;
+
+  /// Node `receiver` was reached by `reached` >= 2 transmissions and lost
+  /// the slot to collision. `cd_callback` reports whether the engine is
+  /// about to fire on_collision (true only under the collision-detection
+  /// ablation).
+  virtual void on_collision_slot(Round round, NodeId receiver, std::uint32_t reached,
+                                 bool cd_callback) = 0;
+
+  /// Node `receiver` was reached while itself transmitting (half-duplex
+  /// deafness; `reached` >= 1).
+  virtual void on_deaf_slot(Round round, NodeId receiver, std::uint32_t reached) = 0;
+
+  /// A successful slot at `receiver` was erased by the fault model
+  /// (`tx_index` is the transmission that would have been delivered).
+  virtual void on_fault_drop(Round round, NodeId receiver,
+                             std::uint32_t tx_index) = 0;
+
+  /// Node `node` transitions from asleep to awake this round (first
+  /// reception, or first collision under the CD ablation). Initial wakes
+  /// are reported via on_sim_start, not here.
+  virtual void on_node_wake(Round round, NodeId node) = 0;
+
+  /// All outcomes of round `round` have been reported.
+  virtual void on_round_end(Round round) = 0;
+};
+
+}  // namespace radiocast::radio

@@ -25,6 +25,9 @@ class InterceptingProtocol final : public NodeProtocol {
   /// Called before the inner protocol's on_receive.
   using ReceiveHook = std::function<void(Round, const Message&)>;
   using WakeHook = std::function<void(Round)>;
+  /// Called before the inner protocol's on_collision (fires only under the
+  /// collision-detection ablation, like the callback it observes).
+  using CollisionHook = std::function<void(Round)>;
 
   explicit InterceptingProtocol(std::unique_ptr<NodeProtocol> inner)
       : inner_(std::move(inner)) {
@@ -34,6 +37,7 @@ class InterceptingProtocol final : public NodeProtocol {
   void set_transmit_hook(TransmitHook hook) { on_transmit_ = std::move(hook); }
   void set_receive_hook(ReceiveHook hook) { on_receive_ = std::move(hook); }
   void set_wake_hook(WakeHook hook) { on_wake_ = std::move(hook); }
+  void set_collision_hook(CollisionHook hook) { on_collision_ = std::move(hook); }
 
   void on_wake(Round round) override {
     if (on_wake_) on_wake_(round);
@@ -51,6 +55,11 @@ class InterceptingProtocol final : public NodeProtocol {
     inner_->on_receive(round, msg);
   }
 
+  void on_collision(Round round) override {
+    if (on_collision_) on_collision_(round);
+    inner_->on_collision(round);
+  }
+
   bool done() const override { return inner_->done(); }
 
   NodeProtocol& inner() { return *inner_; }
@@ -61,6 +70,7 @@ class InterceptingProtocol final : public NodeProtocol {
   TransmitHook on_transmit_;
   ReceiveHook on_receive_;
   WakeHook on_wake_;
+  CollisionHook on_collision_;
 };
 
 }  // namespace radiocast::radio

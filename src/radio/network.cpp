@@ -17,8 +17,9 @@ Network::Network(const graph::Graph& graph)
 }
 
 void Network::set_protocol(NodeId id, std::unique_ptr<NodeProtocol> protocol) {
-  RC_ASSERT(id < num_nodes());
+  RC_ASSERT_MSG(id < num_nodes(), "set_protocol on an out-of-range id");
   RC_ASSERT(protocol != nullptr);
+  RC_ASSERT_MSG(!started_, "set_protocol after the simulation started");
   protocols_[id] = std::move(protocol);
 }
 
@@ -33,7 +34,7 @@ const NodeProtocol& Network::protocol(NodeId id) const {
 }
 
 void Network::wake_at_start(NodeId id) {
-  RC_ASSERT(id < num_nodes());
+  RC_ASSERT_MSG(id < num_nodes(), "wake_at_start on an out-of-range id");
   RC_ASSERT_MSG(!started_, "wake_at_start after the simulation started");
   if (!awake_[id]) {
     awake_[id] = 1;
@@ -56,12 +57,24 @@ void Network::enable_collision_detection(bool on) {
   collision_detection_ = on;
 }
 
+void Network::set_auditor(NetworkAuditHook* auditor) {
+  RC_ASSERT_MSG(!started_ || auditor == nullptr,
+                "set_auditor after the simulation started");
+  auditor_ = auditor;
+}
+
+void Network::set_test_mutations(const EngineMutations& mutations) {
+  RC_ASSERT_MSG(!started_, "set_test_mutations after the simulation started");
+  mutations_ = mutations;
+}
+
 void Network::wake(NodeId id) {
   if (!awake_[id]) {
     awake_[id] = 1;
     awake_list_.push_back(id);
     awake_list_dirty_ = true;
     ++trace_.counters().wakeups;
+    if (auditor_ != nullptr) auditor_->on_node_wake(round_, id);
     protocols_[id]->on_wake(round_);
   }
 }
@@ -98,6 +111,7 @@ void Network::step() {
   if (observer_ != nullptr) round_base_ = trace_.counters();
   if (!started_) {
     started_ = true;
+    if (auditor_ != nullptr) auditor_->on_sim_start(pending_initial_wakes_);
     for (NodeId id : pending_initial_wakes_) {
       ++trace_.counters().wakeups;
       protocols_[id]->on_wake(round_);
@@ -130,6 +144,7 @@ void Network::step() {
     }
   }
   trace_.counters().transmissions += transmissions_.size();
+  if (auditor_ != nullptr) auditor_->on_transmissions(round_, transmissions_);
 
   // Phase 2: compute, per node, how many transmissions reached it.
   for (std::uint32_t t = 0; t < transmissions_.size(); ++t) {
@@ -142,43 +157,58 @@ void Network::step() {
   }
 
   // Phase 3: deliveries — exactly one reaching message, receiver silent.
+  const bool faults_on = fault_model_.reception_loss_probability > 0.0;
   for (NodeId v : touched_) {
     const std::uint32_t reached = reach_count_[v];
     reach_count_[v] = 0;  // reset for the next round
+
+    // Delivery path, shared by the model and by the seeded-bug mutations.
+    const auto deliver = [&](std::uint32_t source) {
+      const Message& tx = transmissions_[source];
+      ++trace_.counters().deliveries;
+      trace_.counters().bits_delivered += message_size_bits(tx.body);
+      ++trace_.counters().deliveries_by_kind[message_kind_index(tx.body)];
+      if (events) {
+        trace_.record({round_, v, TraceEvent::Kind::kDelivered, message_kind(tx.body),
+                       tx.from});
+      }
+      if (auditor_ != nullptr) auditor_->on_deliver(round_, v, source, tx);
+      if (!mutations_.skip_wake_on_receive) wake(v);
+      protocols_[v]->on_receive(round_, tx);
+    };
+
     if (transmitting_[v]) {
       ++trace_.counters().deaf_slots;
       if (events) trace_.record({round_, v, TraceEvent::Kind::kDeaf, {}, 0});
+      if (auditor_ != nullptr) auditor_->on_deaf_slot(round_, v, reached);
+      if (mutations_.deliver_while_transmitting) deliver(reach_source_[v]);
       continue;
     }
     if (reached >= 2) {
       ++trace_.counters().collision_slots;
       if (events) trace_.record({round_, v, TraceEvent::Kind::kCollision, {}, 0});
+      if (auditor_ != nullptr) {
+        auditor_->on_collision_slot(round_, v, reached, collision_detection_);
+      }
       if (collision_detection_) {
         wake(v);
         protocols_[v]->on_collision(round_);
       }
+      if (mutations_.deliver_on_collision) deliver(reach_source_[v]);
       continue;
     }
-    if (fault_model_.reception_loss_probability > 0.0 &&
-        fault_rng_.next_bool(fault_model_.reception_loss_probability)) {
+    if (faults_on && fault_rng_.next_bool(fault_model_.reception_loss_probability)) {
       // Injected interference: the receiver observes silence.
       ++trace_.counters().fault_drops;
+      if (auditor_ != nullptr) auditor_->on_fault_drop(round_, v, reach_source_[v]);
       continue;
     }
-    const Message& tx = transmissions_[reach_source_[v]];
-    ++trace_.counters().deliveries;
-    trace_.counters().bits_delivered += message_size_bits(tx.body);
-    ++trace_.counters().deliveries_by_kind[message_kind_index(tx.body)];
-    if (events) {
-      trace_.record({round_, v, TraceEvent::Kind::kDelivered, message_kind(tx.body),
-                     tx.from});
-    }
-    wake(v);
-    protocols_[v]->on_receive(round_, tx);
+    deliver(reach_source_[v]);
   }
   touched_.clear();
   for (const Message& tx : transmissions_) transmitting_[tx.from] = 0;
 
+  if (auditor_ != nullptr) auditor_->on_round_end(round_);
   if (observer_ != nullptr) report_round(round_);
   ++round_;
   ++trace_.counters().rounds;

@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
 #include "obs/observer.hpp"
+#include "radio/audit_hook.hpp"
 #include "radio/node.hpp"
 #include "radio/trace.hpp"
 
@@ -25,12 +26,40 @@ namespace radiocast::radio {
 
 /// Optional fault injection, beyond the paper's model: models external
 /// interference (jamming, thermal noise) as independent per-reception
-/// erasures. A successful slot (exactly one transmitting neighbor) is
-/// erased with `reception_loss_probability`; the receiver observes silence,
-/// exactly as it would for a collision — there is still no detection.
+/// erasures. A successful slot (exactly one transmitting neighbor, and a
+/// receiver that is not itself transmitting) is erased with
+/// `reception_loss_probability`; the receiver observes silence, exactly as
+/// it would for a collision — there is still no detection.
+///
+/// RNG stream discipline: the fault RNG is consumed by *successful slots
+/// only*, one draw per successful slot, in receiver-touch order. Collision
+/// and deaf slots never consume a draw, and with
+/// `reception_loss_probability == 0` no draw ever happens. The stream is
+/// therefore a pure function of the successful-slot sequence — two runs
+/// whose protocols produce the same transmissions up to some round consume
+/// draws at identical positions regardless of the loss rate, which keeps
+/// traces comparable across loss-rate sweeps. Pinned by
+/// Faults.ErasureDrawsConsumeRngOnlyOnSuccessfulSlots.
 struct FaultModel {
   double reception_loss_probability = 0.0;
   std::uint64_t seed = 0x5eedf001u;
+};
+
+/// Test-only engine mutations. Each flag seeds one deliberate violation of
+/// the radio model so the audit tests can prove the ModelAuditor catches
+/// it (see tests/audit/mutation_test.cpp). All flags are false in every
+/// production configuration; the flags cost one predictable branch on the
+/// slots they guard and nothing anywhere else.
+struct EngineMutations {
+  /// Deliver the first reaching message even when >= 2 reached (breaks
+  /// "collision means silence").
+  bool deliver_on_collision = false;
+  /// Deliver to a receiver that is itself transmitting (breaks the
+  /// half-duplex rule).
+  bool deliver_while_transmitting = false;
+  /// Deliver to sleeping nodes without waking them (breaks wake-on-first-
+  /// reception).
+  bool skip_wake_on_receive = false;
 };
 
 class Network {
@@ -42,7 +71,9 @@ class Network {
   const graph::Graph& topology() const { return graph_; }
 
   /// Installs the protocol for node `id`. Must be called for every node
-  /// before the first step.
+  /// before the first step; calling it after the simulation started would
+  /// silently desynchronize done-tracking and protocol state, so it fails
+  /// loudly instead.
   void set_protocol(NodeId id, std::unique_ptr<NodeProtocol> protocol);
 
   NodeProtocol& protocol(NodeId id);
@@ -92,6 +123,19 @@ class Network {
   void set_observer(obs::RunObserver* observer) { observer_ = observer; }
   obs::RunObserver* observer() const { return observer_; }
 
+  /// Attaches a model-conformance auditor (nullptr detaches). The hook
+  /// sees the raw transmission set and every reception outcome of every
+  /// round (see radio/audit_hook.hpp); it is read-only, so an audited run
+  /// is bit-identical to an unaudited one. Must be attached before the
+  /// first step so the auditor sees the initial wake set; must outlive
+  /// the network (or be detached).
+  void set_auditor(NetworkAuditHook* auditor);
+  NetworkAuditHook* auditor() const { return auditor_; }
+
+  /// Installs test-only engine mutations (see EngineMutations). Must be
+  /// called before the first step.
+  void set_test_mutations(const EngineMutations& mutations);
+
  private:
   void wake(NodeId id);
   /// Fills round_stats_ with this round's deltas and feeds the observer.
@@ -132,8 +176,10 @@ class Network {
   FaultModel fault_model_;
   Rng fault_rng_;
   bool collision_detection_ = false;
+  EngineMutations mutations_;
 
   obs::RunObserver* observer_ = nullptr;
+  NetworkAuditHook* auditor_ = nullptr;
   /// Counter values at the start of the current round; the per-round
   /// deltas reported to the observer are computed against these.
   TraceCounters round_base_;

@@ -1,0 +1,80 @@
+// The pinned-corpus gate: every corpus case must run with zero model
+// violations, deliver all packets, and produce results bit-identical to
+// the same run without an auditor attached. This is the acceptance bar
+// for the whole audit subsystem — a clean full-grid audited sweep (all
+// placement modes, fault rates, CD on/off, coded/uncoded) that provably
+// does not perturb the simulation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "audit/corpus.hpp"
+#include "audit/violation.hpp"
+
+namespace radiocast::audit {
+namespace {
+
+TEST(AuditCorpus, CoversTheRequiredGrid) {
+  const auto& corpus = pinned_corpus();
+  bool saw_random = false, saw_single = false, saw_spread = false;
+  bool saw_lossy = false, saw_lossless = false;
+  bool saw_cd = false, saw_no_cd = false;
+  bool saw_coded = false, saw_uncoded = false;
+  for (const CorpusCase& c : corpus) {
+    saw_random |= c.placement == core::PlacementMode::kRandom;
+    saw_single |= c.placement == core::PlacementMode::kSingleSource;
+    saw_spread |= c.placement == core::PlacementMode::kSpreadEven;
+    saw_lossy |= c.loss > 0.0;
+    saw_lossless |= c.loss == 0.0;
+    saw_cd |= c.collision_detection;
+    saw_no_cd |= !c.collision_detection;
+    saw_coded |= c.coded;
+    saw_uncoded |= !c.coded;
+  }
+  EXPECT_TRUE(saw_random && saw_single && saw_spread);
+  EXPECT_TRUE(saw_lossy && saw_lossless);
+  EXPECT_TRUE(saw_cd && saw_no_cd);
+  EXPECT_TRUE(saw_coded && saw_uncoded);
+}
+
+TEST(AuditCorpus, EveryCaseCleanDeliveredAndBitIdentical) {
+  for (const CorpusCase& c : pinned_corpus()) {
+    SCOPED_TRACE(c.name);
+    const CorpusOutcome out = run_corpus_case(c);
+    EXPECT_TRUE(out.delivered) << "audited run failed to deliver";
+    EXPECT_TRUE(out.report.clean())
+        << out.report.total() << " violations; first: "
+        << out.report.violations().front().check << " — "
+        << out.report.violations().front().detail;
+    EXPECT_TRUE(out.bit_identical)
+        << "audited and unaudited runs diverged (auditor is not read-only?)";
+  }
+}
+
+TEST(AuditCorpus, JsonlReportIsWellFormedPerLine) {
+  AuditReport report;
+  report.add(7, 3, "radio.outcome", "expected delivered, got none");
+  report.add(9, 0, "check\"with\nspecials", "tab\there");
+  std::ostringstream out;
+  write_jsonl(out, report);
+  const std::string text = out.str();
+  // One line per violation + the summary line.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_NE(text.find("{\"round\":7,\"node\":3,\"check\":\"radio.outcome\""),
+            std::string::npos);
+  EXPECT_NE(text.find("check\\\"with\\nspecials"), std::string::npos);
+  EXPECT_NE(text.find("{\"summary\":true,\"total\":2,\"dropped\":0}"),
+            std::string::npos);
+}
+
+TEST(AuditCorpus, ReportCapsAndCountsDroppedViolations) {
+  AuditReport report(/*max_violations=*/2);
+  for (int i = 0; i < 5; ++i) report.add(i, 0, "c", "d");
+  EXPECT_EQ(report.total(), 5u);
+  EXPECT_EQ(report.violations().size(), 2u);
+  EXPECT_EQ(report.dropped(), 3u);
+  EXPECT_FALSE(report.clean());
+}
+
+}  // namespace
+}  // namespace radiocast::audit

@@ -9,7 +9,9 @@
 #include "baselines/uncoded_pipeline.hpp"
 #include "common/rng.hpp"
 #include "core/dynamic.hpp"
+#include "core/protocol.hpp"
 #include "core/runner.hpp"
+#include "core/schedule.hpp"
 #include "graph/generators.hpp"
 #include "protocols/bfs_construction.hpp"
 #include "protocols/bgi_broadcast.hpp"
@@ -139,6 +141,81 @@ TEST(FaultMatrix, DynamicVariantSurvivesLoss) {
     }
   }
 }
+
+/// One full k-broadcast run, driven directly so per-node protocol state
+/// stays inspectable after completion (run_kbroadcast owns its network).
+struct CdOutcome {
+  bool delivered = false;
+  std::uint64_t collision_slots = 0;
+  std::uint64_t on_collision_callbacks = 0;
+  std::uint64_t fault_drops = 0;
+};
+
+CdOutcome run_fault_cd(double loss, bool collision_detection) {
+  Rng grng(40);
+  const graph::Graph g = graph::make_gnp_connected(24, 0.25, grng);
+  KBroadcastConfig kcfg;
+  kcfg.know = radio::Knowledge::exact(g);
+  const ResolvedConfig rc = resolve(kcfg);
+  Rng prng(41);
+  const Placement placement =
+      make_placement(24, 8, PlacementMode::kRandom, 8, prng);
+  std::vector<radio::Packet> truth = placement_packets(placement);
+
+  radio::Network net(g);
+  if (collision_detection) net.enable_collision_detection(true);
+  if (loss > 0.0) net.set_fault_model({loss, 4242});
+  Rng master(42);
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    Rng child = master.split();
+    net.set_protocol(v,
+                     std::make_unique<KBroadcastNode>(rc, v, placement[v], child));
+    if (!placement[v].empty()) net.wake_at_start(v);
+  }
+  // Generous headroom: lossy runs legitimately overshoot the fault-free
+  // analytic bound when a lost ack forces extra alarm phases.
+  const bool done =
+      net.run_until_done(20 * total_rounds_bound(truth.size(), rc));
+
+  CdOutcome out;
+  out.delivered = done;
+  out.collision_slots = net.trace().counters().collision_slots;
+  out.fault_drops = net.trace().counters().fault_drops;
+  for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& node = static_cast<const KBroadcastNode&>(net.protocol(v));
+    out.on_collision_callbacks += node.collisions_observed();
+  }
+  return out;
+}
+
+class FaultCdMatrix : public ::testing::TestWithParam<double> {};
+
+// Every fault rate of the matrix also runs under the collision-detection
+// ablation: delivery must hold in both modes, the engine must fire exactly
+// one on_collision callback per collision slot with CD on, and none with
+// CD off (the paper's model — collisions indistinguishable from silence).
+TEST_P(FaultCdMatrix, DeliversAndAccountsCollisionCallbacks) {
+  const double loss = GetParam();
+  const CdOutcome off = run_fault_cd(loss, /*collision_detection=*/false);
+  const CdOutcome on = run_fault_cd(loss, /*collision_detection=*/true);
+
+  EXPECT_TRUE(off.delivered) << "loss=" << loss << " cd=off";
+  EXPECT_TRUE(on.delivered) << "loss=" << loss << " cd=on";
+  EXPECT_EQ(off.on_collision_callbacks, 0u) << "loss=" << loss;
+  EXPECT_EQ(on.on_collision_callbacks, on.collision_slots)
+      << "loss=" << loss;
+  EXPECT_GT(on.collision_slots, 0u) << "loss=" << loss;
+  if (loss > 0.0) {
+    EXPECT_GT(off.fault_drops, 0u) << "loss=" << loss;
+    EXPECT_GT(on.fault_drops, 0u) << "loss=" << loss;
+  } else {
+    EXPECT_EQ(off.fault_drops, 0u);
+    EXPECT_EQ(on.fault_drops, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, FaultCdMatrix,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.1));
 
 TEST(FaultMatrix, HeavyLossEventuallyBreaksWhpClaims) {
   // Sanity check of the harness itself: at absurd loss (60%) the protocol

@@ -5,12 +5,19 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "baselines/uncoded_pipeline.hpp"
 #include "graph/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/observer.hpp"
 
 namespace radiocast::core {
 namespace {
@@ -67,6 +74,96 @@ TEST(MonteCarloRunTest, SequentialPathAlsoThrows) {
       montecarlo::run_indexed(4, [](int t) { if (t == 2) throw std::logic_error("x"); },
                               opts),
       std::logic_error);
+}
+
+TEST(MonteCarloRunTest, ReductionIsTrialOrderedEvenWithInvertedCompletion) {
+  // Early trials sleep longest, so completion order is the reverse of
+  // trial order; the result vector must still land in trial order.
+  montecarlo::Options opts;
+  opts.threads = 4;
+  const std::vector<int> out = montecarlo::run(
+      8,
+      [](int t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds((8 - t) * 3));
+        return t * 10;
+      },
+      opts);
+  ASSERT_EQ(out.size(), 8u);
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(out[static_cast<std::size_t>(t)], t * 10);
+}
+
+TEST(MonteCarloFailurePaths, FailingTrialDoesNotCancelOthers) {
+  // The sweep drains before rethrowing, so one bad trial never suppresses
+  // the work (or the observer state) of the others.
+  std::array<std::atomic<bool>, 12> ran{};
+  montecarlo::Options opts;
+  opts.threads = 4;
+  EXPECT_THROW(montecarlo::run_indexed(
+                   12,
+                   [&ran](int t) {
+                     if (t == 1) throw std::runtime_error("x");
+                     ran[static_cast<std::size_t>(t)] = true;
+                   },
+                   opts),
+               std::runtime_error);
+  for (int t = 0; t < 12; ++t) {
+    if (t != 1) {
+      EXPECT_TRUE(ran[static_cast<std::size_t>(t)]) << "trial " << t;
+    }
+  }
+}
+
+TEST(MonteCarloFailurePaths, ThrowingTrialDoesNotLeakObserverState) {
+  Rng grng(31);
+  graph::Graph g = graph::make_gnp_connected(20, 0.25, grng);
+  const radio::Knowledge know = radio::Knowledge::exact(g);
+
+  constexpr int kTrials = 5;
+  constexpr int kPoisoned = 2;
+  const auto make_sweep = [&g, &know](std::vector<obs::RunObserver>& observers,
+                                      bool poisoned) {
+    montecarlo::KBroadcastSweep sweep;
+    sweep.graph = &g;
+    sweep.cfg = baselines::coded_config(know);
+    sweep.k = 6;
+    sweep.placement_seed = [](int t) { return 70 + static_cast<std::uint64_t>(t); };
+    sweep.run_seed = [poisoned](int t) -> std::uint64_t {
+      if (poisoned && t == kPoisoned) throw std::runtime_error("poisoned trial");
+      return 170 + static_cast<std::uint64_t>(t);
+    };
+    sweep.observer = [&observers](int t) { return &observers[static_cast<std::size_t>(t)]; };
+    return sweep;
+  };
+
+  montecarlo::Options opts;
+  opts.threads = 3;
+  std::vector<obs::RunObserver> poisoned_obs(kTrials);
+  EXPECT_THROW(montecarlo::run_kbroadcast_sweep(make_sweep(poisoned_obs, true),
+                                                kTrials, opts),
+               std::runtime_error);
+
+  // Reference: the identical sweep with nothing poisoned.
+  std::vector<obs::RunObserver> ref_obs(kTrials);
+  const std::vector<RunResult> ref = montecarlo::run_kbroadcast_sweep(
+      make_sweep(ref_obs, false), kTrials, opts);
+
+  for (int t = 0; t < kTrials; ++t) {
+    if (t == kPoisoned) {
+      // The poisoned trial died before its run started: its observer must
+      // be pristine, not half-written.
+      EXPECT_TRUE(poisoned_obs[kPoisoned].spans().empty());
+      EXPECT_EQ(poisoned_obs[kPoisoned].current_stage(), "");
+      continue;
+    }
+    // Surviving trials' observers must be byte-identical to an unpoisoned
+    // sweep — the failure leaked nothing across trials.
+    std::ostringstream got, want;
+    obs::write_run_jsonl(got, poisoned_obs[static_cast<std::size_t>(t)],
+                         ref[static_cast<std::size_t>(t)].total_rounds);
+    obs::write_run_jsonl(want, ref_obs[static_cast<std::size_t>(t)],
+                         ref[static_cast<std::size_t>(t)].total_rounds);
+    EXPECT_EQ(got.str(), want.str()) << "observer state diverged in trial " << t;
+  }
 }
 
 // --- Determinism: parallel == sequential, bit for bit. -------------------

@@ -108,6 +108,89 @@ TEST(Faults, KBroadcastSurvivesModerateLoss) {
   EXPECT_GE(lossy.total_rounds, clean.total_rounds);
 }
 
+/// Transmits on a fixed round-modulo schedule; records reception rounds.
+class Scheduled final : public NodeProtocol {
+ public:
+  /// Transmits on round r iff r % 4 is in `slots`.
+  explicit Scheduled(std::vector<Round> slots) : slots_(std::move(slots)) {}
+  std::optional<MessageBody> on_transmit(Round r) override {
+    for (Round s : slots_) {
+      if (r % 4 == s) return MessageBody(AlarmMsg{});
+    }
+    return std::nullopt;
+  }
+  void on_receive(Round r, const Message&) override {
+    received_rounds_.push_back(r);
+  }
+  std::vector<Round> received_rounds_;
+
+ private:
+  std::vector<Round> slots_;
+};
+
+// Pins the fault-RNG stream discipline documented on radio::FaultModel:
+// exactly one Bernoulli draw per *successful* slot, in receiver-touch
+// order; collision, deaf, and silent slots never consume a draw. The test
+// scripts a path 0-1-2 through a fixed 4-round pattern —
+//   r%4==0: node 0 transmits  -> one successful slot (receiver 1)
+//   r%4==1: nodes 0 and 2 transmit -> collision at node 1, no draw
+//   r%4==2: node 1 transmits  -> two successful slots (receivers 0, 2)
+//   r%4==3: silence           -> no draw
+// — then replays an independent Rng with the same seed over only the
+// successful slots and demands delivery-by-delivery agreement. Any
+// regression that draws on collision or silent slots desynchronizes the
+// replay within a few rounds.
+TEST(Faults, ErasureDrawsConsumeRngOnlyOnSuccessfulSlots) {
+  constexpr double kLoss = 0.5;
+  constexpr std::uint64_t kSeed = 424242;
+  constexpr Round kRounds = 400;
+
+  const graph::Graph g = graph::make_path(3);
+  Network net(g);
+  net.set_protocol(0, std::make_unique<Scheduled>(std::vector<Round>{0, 1}));
+  net.set_protocol(1, std::make_unique<Scheduled>(std::vector<Round>{2}));
+  net.set_protocol(2, std::make_unique<Scheduled>(std::vector<Round>{1}));
+  for (NodeId v = 0; v < 3; ++v) net.wake_at_start(v);
+  net.set_fault_model({kLoss, kSeed});
+  for (Round r = 0; r < kRounds; ++r) net.step();
+
+  // Replay: same seed, draws only at the successful slots, receivers in
+  // touch order (the transmitter's adjacency order: 0 before 2).
+  Rng replay(kSeed);
+  std::vector<Round> expect0, expect1, expect2;
+  std::uint64_t expected_drops = 0;
+  for (Round r = 0; r < kRounds; ++r) {
+    switch (r % 4) {
+      case 0:  // node 0 alone: node 1 has a unique transmitting neighbor
+        if (replay.next_bool(kLoss)) ++expected_drops;
+        else expect1.push_back(r);
+        break;
+      case 1:  // 0 and 2 collide at node 1: no draw, no delivery
+        break;
+      case 2:  // node 1 alone: nodes 0 and 2 each hear it, two draws
+        if (replay.next_bool(kLoss)) ++expected_drops;
+        else expect0.push_back(r);
+        if (replay.next_bool(kLoss)) ++expected_drops;
+        else expect2.push_back(r);
+        break;
+      default:  // silence
+        break;
+    }
+  }
+
+  auto& n0 = static_cast<Scheduled&>(net.protocol(0));
+  auto& n1 = static_cast<Scheduled&>(net.protocol(1));
+  auto& n2 = static_cast<Scheduled&>(net.protocol(2));
+  EXPECT_EQ(n0.received_rounds_, expect0);
+  EXPECT_EQ(n1.received_rounds_, expect1);
+  EXPECT_EQ(n2.received_rounds_, expect2);
+  EXPECT_EQ(net.trace().counters().fault_drops, expected_drops);
+  EXPECT_EQ(net.trace().counters().collision_slots, kRounds / 4);
+  // Sanity: at 50% loss over 300 successful slots, both outcomes occur.
+  EXPECT_GT(expected_drops, 0u);
+  EXPECT_GT(expect0.size() + expect1.size() + expect2.size(), 0u);
+}
+
 class FaultSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(FaultSweep, DeliveryDegradesGracefully) {

@@ -228,6 +228,45 @@ TEST(Network, EventLogRecordsKinds) {
   EXPECT_EQ(net.trace().events()[0].from, 1u);
 }
 
+// Configuration-after-start and out-of-range misuse must die loudly:
+// silently accepting a protocol swap or fault-model change mid-run would
+// invalidate every invariant the auditor checks.
+using NetworkDeathTest = ::testing::Test;
+
+TEST(NetworkDeathTest, ConfigurationAfterFirstStepAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  graph::Graph g = graph::make_path(2);
+  Network net(g);
+  net.set_protocol(0, std::make_unique<ScriptNode>());
+  net.set_protocol(1, std::make_unique<ScriptNode>());
+  net.wake_at_start(0);
+  net.step();
+  EXPECT_DEATH(net.set_protocol(0, std::make_unique<ScriptNode>()),
+               "set_protocol after the simulation started");
+  EXPECT_DEATH(net.wake_at_start(1),
+               "wake_at_start after the simulation started");
+  EXPECT_DEATH(net.set_fault_model({0.1, 1}),
+               "set_fault_model after the simulation started");
+  EXPECT_DEATH(net.enable_collision_detection(true),
+               "enable_collision_detection after the simulation started");
+}
+
+TEST(NetworkDeathTest, OutOfRangeIdsAbort) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  graph::Graph g = graph::make_path(2);
+  Network net(g);
+  EXPECT_DEATH(net.set_protocol(2, std::make_unique<ScriptNode>()),
+               "set_protocol on an out-of-range id");
+  EXPECT_DEATH(net.wake_at_start(2), "wake_at_start on an out-of-range id");
+}
+
+TEST(NetworkDeathTest, InvalidFaultProbabilityAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  graph::Graph g = graph::make_path(2);
+  Network net(g);
+  EXPECT_DEATH(net.set_fault_model({1.5, 1}), "reception_loss_probability");
+}
+
 TEST(Network, PayloadIntegrityThroughDelivery) {
   DataMsg data;
   data.packet.id = make_packet_id(1, 7);
