@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a BENCH_*.json report against its baseline.
+
+Usage:
+    bench_compare.py --baseline bench/baselines/BENCH_engine_step.json \
+                     --candidate perf-smoke-json/BENCH_engine_step.json \
+                     [--tolerance 0.15] [--require-meta smoke]
+
+Rows are matched by their key columns (every column that is neither
+throughput- nor time-derived). The comparison has two tiers:
+
+  * Deterministic columns (counters, workload shape) must match EXACTLY.
+    A mismatch means the engine's observable behavior changed — that is a
+    correctness failure masquerading as a perf report, and no tolerance
+    applies.
+  * Throughput columns (see THROUGHPUT_COLUMNS) are compared with a
+    relative tolerance, and only regressions fail: a candidate may be
+    arbitrarily faster than its baseline, but if it is slower by more
+    than --tolerance (default 15%) the gate fails.
+
+Exit codes: 0 ok, 1 regression/mismatch, 2 usage or malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+# Columns derived from wall/CPU time: tolerance applies, higher is better.
+THROUGHPUT_COLUMNS = {"rounds_per_sec"}
+
+# Columns that are time-derived but not gated (purely informational).
+INFORMATIONAL_COLUMNS: set[str] = set()
+
+
+def load_report(path: pathlib.Path) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    if "rows" not in doc or not isinstance(doc["rows"], list) or not doc["rows"]:
+        sys.exit(f"error: {path} has no rows")
+    return doc
+
+
+def row_key(row: dict) -> tuple:
+    """Key columns = everything that is not time-derived."""
+    skip = THROUGHPUT_COLUMNS | INFORMATIONAL_COLUMNS
+    return tuple(sorted((k, v) for k, v in row.items() if k not in skip))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=pathlib.Path)
+    parser.add_argument("--candidate", required=True, type=pathlib.Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="max relative throughput regression before failing (default 0.15)",
+    )
+    parser.add_argument(
+        "--require-meta",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="meta keys that must match between baseline and candidate "
+        "(e.g. 'smoke' to refuse full-vs-smoke comparisons)",
+    )
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    base = load_report(args.baseline)
+    cand = load_report(args.candidate)
+    failures: list[str] = []
+
+    if base.get("bench") != cand.get("bench"):
+        failures.append(
+            f"bench id mismatch: baseline={base.get('bench')!r} "
+            f"candidate={cand.get('bench')!r}"
+        )
+
+    for key in args.require_meta:
+        b = base.get("meta", {}).get(key)
+        c = cand.get("meta", {}).get(key)
+        if b != c:
+            failures.append(f"meta[{key!r}] mismatch: baseline={b!r} candidate={c!r}")
+
+    # Tier 1: deterministic columns — the row keys themselves. Exact match,
+    # both directions (a vanished or novel row is a failure too).
+    base_rows = {row_key(r): r for r in base["rows"]}
+    cand_rows = {row_key(r): r for r in cand["rows"]}
+    if len(base_rows) != len(base["rows"]) or len(cand_rows) != len(cand["rows"]):
+        failures.append("duplicate row keys — report shape changed")
+    for key in base_rows.keys() - cand_rows.keys():
+        failures.append(f"deterministic row vanished or changed: {dict(key)}")
+    for key in cand_rows.keys() - base_rows.keys():
+        failures.append(f"unexpected new row (deterministic drift?): {dict(key)}")
+
+    # Tier 2: throughput columns on the matched rows.
+    checked = 0
+    for key in sorted(base_rows.keys() & cand_rows.keys()):
+        brow, crow = base_rows[key], cand_rows[key]
+        label = ", ".join(
+            f"{k}={v}" for k, v in key if k in ("workload", "n", "rounds")
+        ) or str(dict(key))
+        for col in sorted(THROUGHPUT_COLUMNS & brow.keys() & crow.keys()):
+            b, c = float(brow[col]), float(crow[col])
+            if b <= 0:
+                failures.append(f"[{label}] baseline {col} is non-positive: {b}")
+                continue
+            checked += 1
+            ratio = c / b
+            verdict = "ok"
+            if ratio < 1.0 - args.tolerance:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"[{label}] {col} regressed: {b:.0f} -> {c:.0f} "
+                    f"({(1.0 - ratio) * 100.0:.1f}% slower, tolerance "
+                    f"{args.tolerance * 100.0:.0f}%)"
+                )
+            print(f"{label}: {col} {b:.0f} -> {c:.0f} (x{ratio:.3f}) {verdict}")
+
+    if checked == 0:
+        failures.append("no throughput columns compared — wrong report?")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} problem(s)", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {checked} throughput column(s) within tolerance, "
+          f"{len(base_rows)} row(s) deterministic-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "radio/network.hpp"
+#include "radio/protocol_slab.hpp"
 
 namespace radiocast::baselines {
 
@@ -48,7 +49,12 @@ std::optional<radio::MessageBody> GossipFloodNode::on_transmit(radio::Round roun
       continue;
     }
     radio::PlainPacketMsg msg;
-    msg.packet = active_[index].packet;
+    if (radio::PayloadArena* arena = payload_arena(); arena != nullptr) {
+      msg.packet.id = active_[index].packet.id;
+      msg.packet.payload = arena->acquire_copy(active_[index].packet.payload);
+    } else {
+      msg.packet = active_[index].packet;
+    }
     msg.group_count = cfg_.expected_packets;
     msg.group_size = 1;
     return msg;
@@ -98,12 +104,12 @@ core::RunResult run_gossip_flood(const graph::Graph& g, const radio::Knowledge& 
                  400ull * result.k * know.log_delta() * know.log_n();
   }
 
+  radio::ProtocolSlab<GossipFloodNode> slab(g.num_nodes());
   radio::Network net(g);
   Rng master(seed);
   for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
     Rng child = master.split();
-    net.set_protocol(v,
-                     std::make_unique<GossipFloodNode>(cfg, v, placement[v], child));
+    net.set_protocol(v, &slab.emplace(cfg, v, placement[v], child));
     if (!placement[v].empty()) net.wake_at_start(v);
   }
 

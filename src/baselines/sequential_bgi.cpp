@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "radio/network.hpp"
+#include "radio/protocol_slab.hpp"
 
 namespace radiocast::baselines {
 
@@ -32,7 +33,12 @@ void SequentialBgiNode::sync_window(radio::Round round) {
     const auto holder = have_.find(pid);
     if (holder != have_.end()) {
       radio::PlainPacketMsg msg;
-      msg.packet = holder->second;
+      if (radio::PayloadArena* arena = payload_arena(); arena != nullptr) {
+        msg.packet.id = holder->second.id;
+        msg.packet.payload = arena->acquire_copy(holder->second.payload);
+      } else {
+        msg.packet = holder->second;
+      }
       msg.group_id = static_cast<std::uint32_t>(window);
       msg.group_count = static_cast<std::uint32_t>(cfg_.order.size());
       msg.group_size = 1;
@@ -45,6 +51,7 @@ void SequentialBgiNode::sync_window(radio::Round round) {
 std::optional<radio::MessageBody> SequentialBgiNode::on_transmit(radio::Round round) {
   sync_window(round);
   if (current_window_ >= cfg_.order.size()) return std::nullopt;
+  flood_.set_payload_arena(payload_arena());
   return flood_.on_transmit(round % window_rounds_);
 }
 
@@ -101,12 +108,12 @@ core::RunResult run_sequential_bgi(const graph::Graph& g, const radio::Knowledge
         2 * static_cast<std::uint64_t>(truth.size()) * epochs * know.log_delta() + 1000;
   }
 
+  radio::ProtocolSlab<SequentialBgiNode> slab(g.num_nodes());
   radio::Network net(g);
   Rng master(seed);
   for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
     Rng child = master.split();
-    net.set_protocol(
-        v, std::make_unique<SequentialBgiNode>(cfg, v, placement[v], child));
+    net.set_protocol(v, &slab.emplace(cfg, v, placement[v], child));
     if (!placement[v].empty()) net.wake_at_start(v);
   }
 

@@ -169,7 +169,13 @@ std::optional<radio::MessageBody> CollectionState::on_transmit(std::uint64_t rel
     const auto it = start_schedule_.find(rel_round);
     if (it != start_schedule_.end() && parent_.has_value()) {
       const OwnPacket& op = own_packets_[it->second];
-      if (!op.acked) return radio::DataMsg{op.packet, *parent_};
+      if (!op.acked) {
+        radio::Packet copy;
+        copy.id = op.packet.id;
+        copy.payload = arena_ != nullptr ? arena_->acquire_copy(op.packet.payload)
+                                         : op.packet.payload;
+        return radio::DataMsg{std::move(copy), *parent_};
+      }
     }
     return std::nullopt;
   }
@@ -223,7 +229,11 @@ void CollectionState::on_receive(std::uint64_t rel_round, const radio::Message& 
     // Relay: forward one round later if that round is still inside the up
     // window; otherwise the copy dies here (no recovery, per the paper).
     if (rel_round + 1 < window_start + w.up_rounds && !relay_packet_.has_value()) {
-      relay_packet_ = data->packet;
+      radio::Packet copy;
+      copy.id = data->packet.id;
+      copy.payload = arena_ != nullptr ? arena_->acquire_copy(data->packet.payload)
+                                       : data->packet.payload;
+      relay_packet_ = std::move(copy);
       relay_round_ = rel_round + 1;
     }
     return;

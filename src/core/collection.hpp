@@ -64,6 +64,11 @@ class CollectionState {
   std::optional<radio::MessageBody> on_transmit(std::uint64_t rel_round);
   void on_receive(std::uint64_t rel_round, const radio::Message& msg);
 
+  /// Optional payload-buffer pool for outgoing DataMsg copies (usually the
+  /// owning node's NodeProtocol::payload_arena). Null => heap-allocate,
+  /// byte-identical either way.
+  void set_payload_arena(radio::PayloadArena* arena) { arena_ = arena; }
+
   /// True once the stage ended (first alarm-free phase completed). The
   /// caller must keep driving on_transmit until this flips.
   bool finished() const { return finished_; }
@@ -106,6 +111,7 @@ class CollectionState {
   bool is_root_;
   std::optional<radio::NodeId> parent_;
   Rng* rng_;
+  radio::PayloadArena* arena_ = nullptr;
 
   std::vector<OwnPacket> own_packets_;
   std::size_t acked_count_ = 0;

@@ -17,6 +17,19 @@ gf2::Payload packet_wire_image(const radio::Packet& packet) {
   return wire;
 }
 
+namespace {
+
+/// Copy of `src` whose payload buffer comes from `arena` when available
+/// (byte-identical either way; see radio::PayloadArena).
+radio::Packet copy_packet(const radio::Packet& src, radio::PayloadArena* arena) {
+  radio::Packet out;
+  out.id = src.id;
+  out.payload = arena != nullptr ? arena->acquire_copy(src.payload) : src.payload;
+  return out;
+}
+
+}  // namespace
+
 radio::Packet packet_from_wire_image(const gf2::Payload& wire) {
   RC_ASSERT(wire.size() >= 8);
   radio::Packet packet;
@@ -152,7 +165,7 @@ std::optional<radio::MessageBody> DisseminationState::on_transmit(
     const GroupState& gs = groups_[j];
     if (off_ >= gs.size) return std::nullopt;
     radio::PlainPacketMsg msg;
-    msg.packet = gs.packets[off_];
+    msg.packet = copy_packet(gs.packets[off_], arena_);
     msg.group_id = static_cast<std::uint32_t>(j);
     msg.group_count = group_count_;
     msg.index_in_group = static_cast<std::uint16_t>(off_);
@@ -182,20 +195,20 @@ std::optional<radio::MessageBody> DisseminationState::on_transmit(
       gs.encoder.emplace(std::move(wires));
     }
     const gf2::BitVec coeffs = gf2::BitVec::random(gs.size, *rng_);
-    gf2::CodedRow row = gs.encoder->encode(coeffs);
     radio::CodedMsg msg;
     msg.group_id = static_cast<std::uint32_t>(j);
     msg.group_count = group_count_;
     msg.group_size = gs.size;
     msg.coeffs = coeffs.to_word();
-    msg.payload = std::move(row.payload);
+    msg.payload = arena_ != nullptr ? arena_->acquire() : gf2::Payload();
+    gs.encoder->encode_into(coeffs, msg.payload);
     return msg;
   }
 
   // Uncoded baseline: one uniformly chosen plain packet of the group.
   const auto index = static_cast<std::size_t>(rng_->next_below(gs.size));
   radio::PlainPacketMsg msg;
-  msg.packet = gs.packets[index];
+  msg.packet = copy_packet(gs.packets[index], arena_);
   msg.group_id = static_cast<std::uint32_t>(j);
   msg.group_count = group_count_;
   msg.index_in_group = static_cast<std::uint16_t>(index);

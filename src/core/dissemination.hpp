@@ -63,6 +63,11 @@ class DisseminationState {
   std::optional<radio::MessageBody> on_transmit(std::uint64_t rel_round);
   void on_receive(std::uint64_t rel_round, const radio::Message& msg);
 
+  /// Optional payload-buffer pool for outgoing messages (usually the
+  /// owning node's NodeProtocol::payload_arena). Null => heap-allocate,
+  /// byte-identical either way.
+  void set_payload_arena(radio::PayloadArena* arena) { arena_ = arena; }
+
   /// True iff this node holds every packet (root: immediately after
   /// set_root_packets; others: all groups decoded; k = 0: every non-root
   /// node can never complete — the runner special-cases empty runs).
@@ -101,6 +106,7 @@ class DisseminationState {
   bool is_root_;
   std::optional<std::uint32_t> dist_;
   Rng* rng_;
+  radio::PayloadArena* arena_ = nullptr;
 
   std::uint32_t group_count_ = 0;
   bool group_count_known_ = false;

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/math_util.hpp"
+#include "radio/protocol_slab.hpp"
 #include "common/stats.hpp"
 
 namespace radiocast::core {
@@ -202,13 +203,14 @@ DynamicRunResult run_dynamic_broadcast(const graph::Graph& g,
   result.k = static_cast<std::uint32_t>(arrivals.size());
   result.horizon = horizon;
 
+  radio::ProtocolSlab<DynamicBroadcastNode> slab(g.num_nodes());
   radio::Network net(g);
   Rng master(seed);
   std::vector<DynamicBroadcastNode*> nodes(g.num_nodes());
   for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
-    auto node = std::make_unique<DynamicBroadcastNode>(cfg, v, master.split());
-    nodes[v] = node.get();
-    net.set_protocol(v, std::move(node));
+    DynamicBroadcastNode& node = slab.emplace(cfg, v, master.split());
+    nodes[v] = &node;
+    net.set_protocol(v, &node);
     net.wake_at_start(v);  // dynamic setting: every node is on from round 0
   }
 

@@ -61,6 +61,7 @@ void KBroadcastNode::ensure_stage(radio::Round round) {
       parent = bfs_->parent();
     }
     collection_.emplace(cfg, self_, is_root, parent, own_packets_, &rng_);
+    collection_->set_payload_arena(payload_arena());
   }
   if (collection_.has_value() && stage3_end_ == 0 && collection_->finished()) {
     stage3_end_ = stage3_start_ + collection_->finished_at();
@@ -77,6 +78,7 @@ void KBroadcastNode::ensure_stage(radio::Round round) {
     std::optional<std::uint32_t> dist;
     if (bfs_.has_value() && bfs_->has_distance()) dist = bfs_->distance();
     dissemination_.emplace(cfg, self_, is_root, dist, &rng_);
+    dissemination_->set_payload_arena(payload_arena());
     if (is_root) {
       RC_ASSERT(collection_.has_value());
       dissemination_->set_root_packets(collection_->collected());

@@ -9,6 +9,7 @@
 #include "core/schedule.hpp"
 #include "graph/algorithms.hpp"
 #include "radio/network.hpp"
+#include "radio/protocol_slab.hpp"
 
 namespace radiocast::core {
 
@@ -108,6 +109,9 @@ RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
     auditor->begin_run(g, rc, truth, faults, collision_detection);
   }
 
+  // All protocol instances live in one contiguous slab (declared before the
+  // network so it outlives the non-owning pointers handed to it).
+  radio::ProtocolSlab<KBroadcastNode> slab(g.num_nodes());
   radio::Network net(g);
   if (faults.reception_loss_probability > 0.0) net.set_fault_model(faults);
   if (collision_detection) net.enable_collision_detection(true);
@@ -116,10 +120,10 @@ RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
   Rng master(seed);
   for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
     Rng child = master.split();
-    auto node = std::make_unique<KBroadcastNode>(rc, v, placement[v], child);
-    if (observer != nullptr && v == expected_leader) node->set_observer(observer);
-    if (auditor != nullptr) node->set_audit_sink(auditor);
-    net.set_protocol(v, std::move(node));
+    KBroadcastNode& node = slab.emplace(rc, v, placement[v], child);
+    if (observer != nullptr && v == expected_leader) node.set_observer(observer);
+    if (auditor != nullptr) node.set_audit_sink(auditor);
+    net.set_protocol(v, &node);
     if (!placement[v].empty()) net.wake_at_start(v);
   }
 

@@ -12,13 +12,18 @@ GroupEncoder::GroupEncoder(std::vector<Payload> packets)
 }
 
 CodedRow GroupEncoder::encode(const BitVec& coeffs) const {
-  RC_ASSERT(coeffs.size() == packets_.size());
   CodedRow row;
   row.coeffs = coeffs;
-  for (std::size_t i = 0; i < packets_.size(); ++i) {
-    if (coeffs.get(i)) xor_into(row.payload, packets_[i]);
-  }
+  encode_into(coeffs, row.payload);
   return row;
+}
+
+void GroupEncoder::encode_into(const BitVec& coeffs, Payload& out) const {
+  RC_ASSERT(coeffs.size() == packets_.size());
+  out.clear();
+  for (std::size_t i = 0; i < packets_.size(); ++i) {
+    if (coeffs.get(i)) xor_into(out, packets_[i]);
+  }
 }
 
 CodedRow GroupEncoder::encode_random(Rng& rng) const {

@@ -27,6 +27,11 @@ class GroupEncoder {
   /// Encodes the subset given by `coeffs` (bit i selects packet i).
   CodedRow encode(const BitVec& coeffs) const;
 
+  /// Same sum, accumulated into a caller-provided payload buffer (cleared
+  /// first, so `out` may carry recycled capacity from a PayloadArena).
+  /// Byte-identical to encode(coeffs).payload.
+  void encode_into(const BitVec& coeffs, Payload& out) const;
+
   /// Draws a uniform random subset (each packet independently w.p. 1/2) and
   /// encodes it — exactly the paper's transmission rule. The all-zero
   /// subset is permitted (it conveys no information but is what the

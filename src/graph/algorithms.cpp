@@ -1,7 +1,7 @@
 #include "graph/algorithms.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <vector>
 
 #include "common/assert.hpp"
 
@@ -14,18 +14,21 @@ BfsResult bfs(const Graph& g, NodeId source) {
   result.parent.resize(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) result.parent[v] = v;
 
-  std::queue<NodeId> queue;
+  // Flat FIFO: every node enters the frontier at most once, so a plain
+  // vector with a head cursor replaces std::queue (same visit order, one
+  // contiguous allocation instead of deque chunks).
+  std::vector<NodeId> frontier;
+  frontier.reserve(g.num_nodes());
   result.dist[source] = 0;
-  queue.push(source);
-  while (!queue.empty()) {
-    const NodeId u = queue.front();
-    queue.pop();
+  frontier.push_back(source);
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const NodeId u = frontier[head];
     for (NodeId v : g.neighbors(u)) {
       if (result.dist[v] == kUnreachable) {
         result.dist[v] = result.dist[u] + 1;
         result.parent[v] = u;
         result.eccentricity = std::max(result.eccentricity, result.dist[v]);
-        queue.push(v);
+        frontier.push_back(v);
       }
     }
   }

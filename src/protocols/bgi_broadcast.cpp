@@ -16,6 +16,7 @@ void BgiFlood::reset(std::optional<radio::MessageBody> initial) {
 std::optional<radio::MessageBody> BgiFlood::on_transmit(std::uint64_t rel_round) {
   if (!message_.has_value()) return std::nullopt;
   if (!decay_.decide(rel_round, *rng_)) return std::nullopt;
+  if (arena_ != nullptr) return arena_->copy_body(*message_);
   return *message_;
 }
 
@@ -36,6 +37,7 @@ BgiBroadcastNode::BgiBroadcastNode(const Config& cfg, bool is_source,
 
 std::optional<radio::MessageBody> BgiBroadcastNode::on_transmit(radio::Round round) {
   if (round < start_round_ || round >= end_round_) return std::nullopt;
+  flood_.set_payload_arena(payload_arena());
   return flood_.on_transmit(round - start_round_);
 }
 

@@ -58,6 +58,11 @@ class BgiFlood {
   /// True iff the message arrived by radio (excludes being a source).
   bool received() const { return received_; }
 
+  /// Optional payload-buffer pool for the per-round transmission copies
+  /// (usually the owner's NodeProtocol::payload_arena). Null =>
+  /// heap-allocate, byte-identical either way.
+  void set_payload_arena(radio::PayloadArena* arena) { arena_ = arena; }
+
   const radio::MessageBody* message() const {
     return message_.has_value() ? &*message_ : nullptr;
   }
@@ -65,6 +70,7 @@ class BgiFlood {
  private:
   Decay decay_;
   Rng* rng_;
+  radio::PayloadArena* arena_ = nullptr;
   std::optional<radio::MessageBody> message_;
   bool received_ = false;
 };

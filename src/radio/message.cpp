@@ -5,22 +5,6 @@
 namespace radiocast::radio {
 
 namespace {
-struct SizeVisitor {
-  std::size_t operator()(const BfsConstructMsg&) const { return 64; }
-  std::size_t operator()(const AlarmMsg&) const { return 1; }
-  std::size_t operator()(const DataMsg& m) const {
-    return 64 /*packet id*/ + 32 /*to*/ + m.packet.payload.size() * 8;
-  }
-  std::size_t operator()(const AckMsg&) const { return 64 + 32; }
-  std::size_t operator()(const PlainPacketMsg& m) const {
-    return 64 + 96 /*group header*/ + m.packet.payload.size() * 8;
-  }
-  std::size_t operator()(const CodedMsg& m) const {
-    return 96 /*group header*/ + m.group_size /*coefficient bitmap*/ +
-           m.payload.size() * 8;
-  }
-};
-
 struct KindVisitor {
   std::string operator()(const BfsConstructMsg&) const { return "bfs"; }
   std::string operator()(const AlarmMsg&) const { return "alarm"; }
@@ -30,10 +14,6 @@ struct KindVisitor {
   std::string operator()(const CodedMsg&) const { return "coded"; }
 };
 }  // namespace
-
-std::size_t message_size_bits(const MessageBody& body) {
-  return std::visit(SizeVisitor{}, body);
-}
 
 std::string message_kind(const MessageBody& body) {
   return std::visit(KindVisitor{}, body);

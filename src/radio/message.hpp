@@ -88,14 +88,45 @@ struct CodedMsg {
 using MessageBody =
     std::variant<BfsConstructMsg, AlarmMsg, DataMsg, AckMsg, PlainPacketMsg, CodedMsg>;
 
+// Hot paths (message_size_bits, PayloadArena::recycle_body) switch on the
+// raw variant index; pin the alternative order they assume.
+static_assert(std::is_same_v<std::variant_alternative_t<0, MessageBody>, BfsConstructMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<1, MessageBody>, AlarmMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<2, MessageBody>, DataMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<3, MessageBody>, AckMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<4, MessageBody>, PlainPacketMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<5, MessageBody>, CodedMsg>);
+
 struct Message {
   /// Filled in by the network when the message is delivered.
   NodeId from = 0;
   MessageBody body;
 };
 
-/// Approximate on-air size in bits (headers + payload).
-std::size_t message_size_bits(const MessageBody& body);
+/// Approximate on-air size in bits (headers + payload). Inline: the
+/// engine calls this once per transmission on the round loop's hot path.
+inline std::size_t message_size_bits(const MessageBody& body) {
+  switch (body.index()) {
+    case 0:  // BfsConstructMsg
+      return 64;
+    case 1:  // AlarmMsg
+      return 1;
+    case 2: {  // DataMsg: packet id + to + payload
+      const auto& m = *std::get_if<DataMsg>(&body);
+      return 64 + 32 + m.packet.payload.size() * 8;
+    }
+    case 3:  // AckMsg
+      return 64 + 32;
+    case 4: {  // PlainPacketMsg: packet id + group header + payload
+      const auto& m = *std::get_if<PlainPacketMsg>(&body);
+      return 64 + 96 + m.packet.payload.size() * 8;
+    }
+    default: {  // CodedMsg: group header + coefficient bitmap + payload
+      const auto& m = *std::get_if<CodedMsg>(&body);
+      return 96 + m.group_size + m.payload.size() * 8;
+    }
+  }
+}
 
 /// Short human-readable tag ("bfs", "alarm", "data", "ack", "plain",
 /// "coded") for traces and debugging.

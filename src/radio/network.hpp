@@ -20,6 +20,7 @@
 #include "obs/observer.hpp"
 #include "radio/audit_hook.hpp"
 #include "radio/node.hpp"
+#include "radio/payload_arena.hpp"
 #include "radio/trace.hpp"
 
 namespace radiocast::radio {
@@ -76,8 +77,19 @@ class Network {
   /// loudly instead.
   void set_protocol(NodeId id, std::unique_ptr<NodeProtocol> protocol);
 
+  /// Non-owning overload: the protocol lives in external storage
+  /// (typically a ProtocolSlab, see radio/protocol_slab.hpp) that must
+  /// outlive the network. Same timing rules as the owning overload.
+  void set_protocol(NodeId id, NodeProtocol* protocol);
+
   NodeProtocol& protocol(NodeId id);
   const NodeProtocol& protocol(NodeId id) const;
+
+  /// The run's payload-recycling pool: spent transmission buffers are
+  /// harvested back into it every round, and set_protocol wires it into
+  /// each protocol (see NodeProtocol::payload_arena). Heap-held so its
+  /// address — cached by every protocol — survives moving the Network.
+  PayloadArena& payload_arena() { return *payload_arena_; }
 
   /// Marks a node as awake from the start (on_wake fires at the first
   /// step, with the then-current round).
@@ -145,7 +157,12 @@ class Network {
   bool advance_done_count();
 
   const graph::Graph& graph_;
-  std::vector<std::unique_ptr<NodeProtocol>> protocols_;
+  /// Non-owning protocol table — the round loop indexes this flat array.
+  /// Slab-placed protocols (pointer overload of set_protocol) are owned
+  /// by their slab; unique_ptr-installed ones are parked in owned_ purely
+  /// for lifetime.
+  std::vector<NodeProtocol*> protocols_;
+  std::vector<std::unique_ptr<NodeProtocol>> owned_;
   /// Byte-vector (not vector<bool>) — this is the hottest per-round
   /// branch and byte loads beat bit-twiddling there, matching the
   /// transmitting_ idiom below.
@@ -188,16 +205,40 @@ class Network {
   std::array<std::uint32_t, kNumMessageKinds> round_tx_by_kind_{};
   std::array<std::uint32_t, kNumMessageKinds> round_rx_by_kind_{};
 
-  // Scratch buffers reused across rounds to avoid per-round allocation.
-  // Transmissions are stored as ready-to-deliver Messages: the body is
-  // moved in once at transmit time and every receiver gets a const
-  // reference, so a gf2::Payload is never copied inside the engine no
-  // matter how many neighbors hear it.
+  // Scratch buffers reused across rounds to avoid per-round allocation
+  // (all sized/reserved in the constructor so the first round allocates
+  // like every other round). Transmissions are stored as ready-to-deliver
+  // Messages: the body is moved in once at transmit time and every
+  // receiver gets a const reference, so a gf2::Payload is never copied
+  // inside the engine no matter how many neighbors hear it. When a
+  // round's transmissions are retired their payload buffers are recycled
+  // into payload_arena_ for the next round's on_transmit calls.
   std::vector<Message> transmissions_;
+  /// Per-transmission wire size and kind index, computed once in Phase 1
+  /// (parallel to transmissions_). Deliveries are the hot consumers —
+  /// several receivers per transmission — and read these instead of
+  /// re-visiting the message variant per receiver.
+  struct TxMeta {
+    std::uint32_t size_bits;
+    std::uint32_t kind;
+  };
+  std::vector<TxMeta> tx_meta_;
+  /// Sender ids only (parallel to transmissions_): the Phase-2 reach walk
+  /// streams these 4-byte entries instead of striding across Messages.
+  std::vector<NodeId> tx_from_;
   std::vector<std::uint8_t> transmitting_;
-  std::vector<std::uint32_t> reach_count_;
-  std::vector<std::uint32_t> reach_source_;  // index into transmissions_
+  /// Per-node reach bookkeeping, merged into one 8-byte record so the
+  /// random-access walks of Phases 2 and 3 touch one cache line per node
+  /// instead of two parallel arrays. `source` (an index into
+  /// transmissions_) is the first transmission that reached the node this
+  /// round; it is only meaningful while `count > 0`.
+  struct ReachSlot {
+    std::uint32_t count;
+    std::uint32_t source;
+  };
+  std::vector<ReachSlot> reach_;
   std::vector<NodeId> touched_;
+  std::unique_ptr<PayloadArena> payload_arena_;
 };
 
 }  // namespace radiocast::radio

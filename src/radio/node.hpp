@@ -18,6 +18,7 @@
 #include <optional>
 
 #include "radio/message.hpp"
+#include "radio/payload_arena.hpp"
 
 namespace radiocast::radio {
 
@@ -26,6 +27,13 @@ using Round = std::uint64_t;
 class NodeProtocol {
  public:
   virtual ~NodeProtocol() = default;
+
+  /// Payload-buffer recycling pool, wired by Network::set_protocol (null
+  /// for protocols driven outside a Network). Purely an allocation hint:
+  /// message bytes are identical with or without it, so protocols use it
+  /// opportunistically — `arena ? arena->acquire_copy(p) : p`.
+  void set_payload_arena(PayloadArena* arena) { payload_arena_ = arena; }
+  PayloadArena* payload_arena() const { return payload_arena_; }
 
   /// Fired when the node wakes: either at round 0 (initially awake nodes)
   /// or on first reception. Guaranteed to fire before any other callback.
@@ -51,6 +59,9 @@ class NodeProtocol {
   /// early once all nodes report done. Must be monotone (once true, stays
   /// true).
   virtual bool done() const { return false; }
+
+ private:
+  PayloadArena* payload_arena_ = nullptr;
 };
 
 }  // namespace radiocast::radio

@@ -1,0 +1,114 @@
+// Differential gate for the memory-locality overhaul: the pinned audit
+// corpus replayed against digests captured *before* the engine's hot data
+// structures were rebuilt (CSR topology, protocol slab, payload arena,
+// merged reach slots). Every digest field is a deterministic function of
+// the simulation semantics — rounds, completion, trace counters, bit
+// accounting, verification flags — so any layout change that perturbs an
+// RNG draw, a callback order, or a delivery outcome shows up as a field
+// mismatch on at least one case.
+//
+// The digests are append-only: when a corpus case is added, capture its
+// digest from a trusted build and add a row here. They must NEVER be
+// re-captured to paper over a diff — a mismatch means the engine's
+// observable behavior changed, which is exactly what this test exists to
+// catch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "audit/corpus.hpp"
+
+namespace radiocast::audit {
+namespace {
+
+/// One corpus case's expected outcome, captured from the pre-overhaul
+/// engine (adjacency-list Graph, per-node unique_ptr protocols, per-round
+/// heap payloads) at commit c081a0a.
+struct PinnedDigest {
+  const char* name;
+  std::uint64_t total_rounds;
+  std::uint32_t nodes_complete;
+  std::uint64_t transmissions;
+  std::uint64_t deliveries;
+  std::uint64_t collision_slots;
+  std::uint64_t deaf_slots;
+  std::uint64_t fault_drops;
+  std::uint64_t bits_transmitted;
+  std::uint64_t bits_delivered;
+  bool delivered_all;
+  bool leader_ok;
+  bool bfs_ok;
+  std::uint32_t collection_phases;
+  std::uint64_t final_estimate;
+};
+
+// clang-format off
+constexpr PinnedDigest kPreOverhaulDigests[] = {
+    {"path_random", 15652ull, 24, 7998ull, 6425ull, 1472ull, 4608ull, 0ull, 319922ull, 620805ull, true, true, true, 1, 140ull},
+    {"path_random_cd", 15653ull, 24, 7856ull, 6264ull, 1451ull, 4567ull, 0ull, 306936ull, 594111ull, true, true, true, 1, 140ull},
+    {"star_single_source", 10704ull, 32, 8609ull, 6647ull, 874ull, 2307ull, 0ull, 507300ull, 512593ull, true, true, true, 1, 35ull},
+    {"star_single_source_lossy", 10714ull, 32, 8473ull, 6362ull, 845ull, 2257ull, 203ull, 510603ull, 506198ull, true, true, true, 1, 35ull},
+    {"grid_spread", 16251ull, 36, 15736ull, 16296ull, 9093ull, 9223ull, 0ull, 941197ull, 1970046ull, true, true, true, 1, 96ull},
+    {"grid_spread_lossy_cd", 16249ull, 36, 15649ull, 15962ull, 8893ull, 9213ull, 478ull, 911283ull, 1907493ull, true, true, true, 1, 96ull},
+    {"cluster_chain_random", 11851ull, 30, 9593ull, 11604ull, 14061ull, 8366ull, 0ull, 721144ull, 1264484ull, true, true, true, 1, 50ull},
+    {"cluster_chain_random_lossy", 11854ull, 30, 9652ull, 11708ull, 14392ull, 8375ull, 353ull, 692769ull, 1301838ull, true, true, true, 1, 50ull},
+    {"gnp_random", 15245ull, 40, 16964ull, 24256ull, 20214ull, 12671ull, 0ull, 880180ull, 2589032ull, true, true, true, 1, 60ull},
+    {"gnp_spread_cd", 15008ull, 40, 13413ull, 20383ull, 16196ull, 9875ull, 0ull, 837114ull, 2357551ull, true, true, true, 1, 60ull},
+    {"tree_single_source_lossy", 11838ull, 28, 4330ull, 4918ull, 856ull, 1068ull, 143ull, 532205ull, 814642ull, true, true, true, 1, 70ull},
+    {"path_uncoded", 13543ull, 20, 3351ull, 2817ull, 534ull, 1882ull, 0ull, 167978ull, 315874ull, true, true, true, 1, 120ull},
+    {"star_uncoded_lossy", 10691ull, 24, 6508ull, 5601ull, 737ull, 1909ull, 196ull, 379605ull, 415223ull, true, true, true, 1, 35ull},
+};
+// clang-format on
+
+const PinnedDigest* find_digest(const std::string& name) {
+  for (const PinnedDigest& d : kPreOverhaulDigests) {
+    if (name == d.name) return &d;
+  }
+  return nullptr;
+}
+
+TEST(EngineDifferential, EveryCorpusCaseHasAPinnedDigest) {
+  // Append-only discipline: a new corpus case must come with a digest row
+  // (captured from a trusted build), and digests must not outlive their
+  // cases.
+  const auto& corpus = pinned_corpus();
+  EXPECT_EQ(corpus.size(), std::size(kPreOverhaulDigests));
+  for (const CorpusCase& c : corpus) {
+    EXPECT_NE(find_digest(c.name), nullptr) << "no pinned digest for " << c.name;
+  }
+}
+
+TEST(EngineDifferential, CorpusReplayMatchesPreOverhaulDigests) {
+  for (const CorpusCase& c : pinned_corpus()) {
+    SCOPED_TRACE(c.name);
+    const PinnedDigest* d = find_digest(c.name);
+    ASSERT_NE(d, nullptr);
+
+    const CorpusOutcome out = run_corpus_case(c);
+    const core::RunResult& r = out.unaudited;
+    const radio::TraceCounters& tc = r.counters;
+
+    EXPECT_EQ(r.total_rounds, d->total_rounds);
+    EXPECT_EQ(r.nodes_complete, d->nodes_complete);
+    EXPECT_EQ(tc.transmissions, d->transmissions);
+    EXPECT_EQ(tc.deliveries, d->deliveries);
+    EXPECT_EQ(tc.collision_slots, d->collision_slots);
+    EXPECT_EQ(tc.deaf_slots, d->deaf_slots);
+    EXPECT_EQ(tc.fault_drops, d->fault_drops);
+    EXPECT_EQ(tc.bits_transmitted, d->bits_transmitted);
+    EXPECT_EQ(tc.bits_delivered, d->bits_delivered);
+    EXPECT_EQ(r.delivered_all, d->delivered_all);
+    EXPECT_EQ(r.leader_ok, d->leader_ok);
+    EXPECT_EQ(r.bfs_ok, d->bfs_ok);
+    EXPECT_EQ(r.collection_phases, d->collection_phases);
+    EXPECT_EQ(r.final_estimate, d->final_estimate);
+
+    // The audited twin must also match — replaying with the auditor
+    // attached exercises the observer-independence of the new layouts.
+    EXPECT_TRUE(out.bit_identical);
+    EXPECT_TRUE(results_identical(out.audited, out.unaudited));
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::audit

@@ -1,0 +1,149 @@
+// Randomized differential test of the CSR graph layout against a trivial
+// adjacency-map oracle. Both sides consume the same randomized edge
+// stream — including duplicate insertions and rejected self-loops — and
+// must then agree on every query the Graph API exposes: num_edges,
+// degree, neighbors (contents *and* order: ascending after finalize),
+// has_edge over all pairs, the edge list, and max_degree. This is the
+// direct correctness check for the builder-lists → finalize() compaction
+// path; the engine-level differential test (tests/audit) covers it only
+// indirectly through simulation digests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace radiocast::graph {
+namespace {
+
+/// The oracle: a sorted adjacency map with the same insertion rules as
+/// Graph::add_edge (no self-loops, duplicates ignored, undirected).
+struct OracleGraph {
+  explicit OracleGraph(NodeId n) : n(n) {}
+
+  void add_edge(NodeId u, NodeId v) {
+    if (u == v) return;
+    if (adjacency[u].insert(v).second) {
+      adjacency[v].insert(u);
+      ++edges;
+    }
+  }
+
+  NodeId n;
+  std::size_t edges = 0;
+  std::map<NodeId, std::set<NodeId>> adjacency;
+};
+
+void expect_equivalent(const Graph& g, const OracleGraph& oracle) {
+  ASSERT_EQ(g.num_nodes(), oracle.n);
+  EXPECT_EQ(g.num_edges(), oracle.edges);
+
+  std::size_t max_deg = 0;
+  for (NodeId u = 0; u < oracle.n; ++u) {
+    const auto it = oracle.adjacency.find(u);
+    const std::set<NodeId> empty;
+    const std::set<NodeId>& expected = it == oracle.adjacency.end() ? empty : it->second;
+    max_deg = std::max(max_deg, expected.size());
+
+    ASSERT_EQ(g.degree(u), expected.size()) << "degree mismatch at " << u;
+    const auto span = g.neighbors(u);
+    const std::vector<NodeId> got(span.begin(), span.end());
+    // std::set iterates ascending, matching the CSR's sorted runs — this
+    // checks contents and order in one comparison.
+    const std::vector<NodeId> want(expected.begin(), expected.end());
+    EXPECT_EQ(got, want) << "neighbor list mismatch at " << u;
+  }
+  EXPECT_EQ(g.max_degree(), max_deg);
+
+  for (NodeId u = 0; u < oracle.n; ++u) {
+    for (NodeId v = 0; v < oracle.n; ++v) {
+      const auto it = oracle.adjacency.find(u);
+      const bool want = it != oracle.adjacency.end() && it->second.count(v) > 0;
+      EXPECT_EQ(g.has_edge(u, v), want) << "has_edge(" << u << "," << v << ")";
+    }
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> want_edges;
+  for (const auto& [u, nbrs] : oracle.adjacency) {
+    for (NodeId v : nbrs) {
+      if (u < v) want_edges.emplace_back(u, v);
+    }
+  }
+  std::sort(want_edges.begin(), want_edges.end());
+  std::vector<std::pair<NodeId, NodeId>> got_edges = g.edges();
+  std::sort(got_edges.begin(), got_edges.end());
+  EXPECT_EQ(got_edges, want_edges);
+}
+
+TEST(CsrOracle, RandomEdgeStreamsAgreeWithAdjacencyMap) {
+  Rng rng(0xc5a0e11eull);
+  for (int trial = 0; trial < 24; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const NodeId n = static_cast<NodeId>(2 + rng.next_below(40));
+    // Densities from near-empty to near-complete; insertions drawn with
+    // replacement so duplicates (and self-loop attempts) occur naturally.
+    const std::size_t attempts = rng.next_below(n * n + 1);
+
+    Graph g(n);
+    OracleGraph oracle(n);
+    for (std::size_t i = 0; i < attempts; ++i) {
+      const NodeId u = static_cast<NodeId>(rng.next_below(n));
+      const NodeId v = static_cast<NodeId>(rng.next_below(n));
+      if (u == v) continue;  // Graph::add_edge asserts on self-loops
+      g.add_edge(u, v);
+      oracle.add_edge(u, v);
+    }
+    g.finalize();
+    ASSERT_TRUE(g.finalized());
+    expect_equivalent(g, oracle);
+  }
+}
+
+TEST(CsrOracle, EdgelessAndIsolatedVertices) {
+  // Degenerate shapes: no edges at all, and a graph whose last vertices
+  // are isolated (their CSR runs are empty and share offsets).
+  Graph empty(5);
+  empty.finalize();
+  expect_equivalent(empty, OracleGraph(5));
+
+  Graph g(6);
+  OracleGraph oracle(6);
+  g.add_edge(0, 1);
+  oracle.add_edge(0, 1);
+  g.add_edge(1, 2);
+  oracle.add_edge(1, 2);
+  g.finalize();
+  expect_equivalent(g, oracle);
+}
+
+TEST(CsrOracle, RawCsrViewMatchesNeighborSpans) {
+  // The hot-loop accessors (csr_offsets/csr_targets) must describe
+  // exactly the same lists as neighbors().
+  Rng rng(0xdeadc0deull);
+  Graph g(32);
+  for (int i = 0; i < 128; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.next_below(32));
+    const NodeId v = static_cast<NodeId>(rng.next_below(32));
+    if (u != v) g.add_edge(u, v);
+  }
+  g.finalize();
+
+  const std::size_t* offsets = g.csr_offsets();
+  const NodeId* targets = g.csr_targets();
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[g.num_nodes()], 2 * g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto span = g.neighbors(u);
+    ASSERT_EQ(offsets[u + 1] - offsets[u], span.size());
+    for (std::size_t i = 0; i < span.size(); ++i) {
+      EXPECT_EQ(targets[offsets[u] + i], span[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::graph
