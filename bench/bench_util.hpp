@@ -19,17 +19,17 @@
 #include "common/table.hpp"
 #include "core/montecarlo.hpp"
 #include "core/runner.hpp"
+#include "exp/env.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "obs/json.hpp"
 
 namespace radiocast::benchutil {
 
+/// Seed-grid width (RADIOCAST_BENCH_SEEDS) — delegates to the shared
+/// spec-parsing helpers the CLI uses, so bench and CLI agree on defaults.
 inline int seeds_from_env(int default_seeds = 3) {
-  const char* env = std::getenv("RADIOCAST_BENCH_SEEDS");
-  if (env == nullptr) return default_seeds;
-  const int v = std::atoi(env);
-  return v > 0 ? v : default_seeds;
+  return exp::bench_seeds_from_env(default_seeds);
 }
 
 /// Thread budget the Monte Carlo driver will use (RADIOCAST_BENCH_THREADS,
@@ -107,8 +107,8 @@ class JsonReport {
   using Value = std::variant<std::string, double, std::uint64_t, std::int64_t, bool>;
 
   explicit JsonReport(std::string id) : id_(std::move(id)) {
-    const char* dir = std::getenv("RADIOCAST_BENCH_JSON_DIR");
-    if (dir != nullptr && *dir != '\0') path_ = std::string(dir) + "/BENCH_" + id_ + ".json";
+    const std::string dir = exp::env_string("RADIOCAST_BENCH_JSON_DIR");
+    if (!dir.empty()) path_ = dir + "/BENCH_" + id_ + ".json";
     meta("seeds", std::to_string(seeds_from_env()));
     meta("threads", std::to_string(threads_from_env()));
   }

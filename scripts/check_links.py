@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker — the docs half of the CI `docs` job.
+
+Scans every tracked markdown file (repo root + docs/) for inline links and
+images, and fails when a relative link points at a path that does not
+exist. External links (http/https/mailto) are deliberately NOT fetched:
+this gate must be hermetic and deterministic, so it only guards the part
+we can actually break from inside the repo — cross-references between
+README.md, docs/*.md, EXPERIMENTS.md and friends.
+
+Anchors are checked too, cheaply: for `path#fragment` the target file must
+contain a heading whose GitHub slug equals the fragment.
+
+Usage:
+    check_links.py [--root DIR]
+
+Exit codes: 0 ok, 1 dead links found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Inline markdown links/images: [text](target) / ![alt](target).
+# Reference-style definitions: [label]: target
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # any URL scheme
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor rule: lowercase, strip punctuation,
+    spaces to dashes. Good enough for ASCII headings, which is all we use."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading, flags=re.UNICODE)
+    return heading.replace(" ", "-")
+
+
+def markdown_files(root: pathlib.Path) -> list[pathlib.Path]:
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def anchors_of(path: pathlib.Path, cache: dict) -> set:
+    if path not in cache:
+        text = FENCE.sub("", path.read_text(encoding="utf-8"))
+        cache[path] = {github_slug(h) for h in HEADING.findall(text)}
+    return cache[path]
+
+
+def check(root: pathlib.Path) -> list[str]:
+    errors: list[str] = []
+    anchor_cache: dict = {}
+    for md in markdown_files(root):
+        # Links inside fenced code blocks are examples, not references.
+        text = FENCE.sub("", md.read_text(encoding="utf-8"))
+        targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
+        for target in targets:
+            if EXTERNAL.match(target):
+                continue
+            path_part, _, fragment = target.partition("#")
+            rel = md.relative_to(root)
+            if not path_part:  # pure in-page anchor
+                if fragment and fragment not in anchors_of(md, anchor_cache):
+                    errors.append(f"{rel}: dead anchor '#{fragment}'")
+                continue
+            dest = (md.parent / path_part).resolve()
+            if not dest.exists():
+                errors.append(f"{rel}: dead link '{target}'")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in anchors_of(dest, anchor_cache):
+                    errors.append(
+                        f"{rel}: '{target}' exists but anchor "
+                        f"'#{fragment}' not found"
+                    )
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    args = ap.parse_args()
+    root = pathlib.Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"error: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    errors = check(root)
+    checked = len(markdown_files(root))
+    if errors:
+        for e in errors:
+            print(f"DEAD: {e}")
+        print(f"\n{len(errors)} dead link(s) across {checked} markdown files")
+        return 1
+    print(f"ok: no dead intra-repo links across {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

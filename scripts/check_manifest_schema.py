@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Manifest-shape gate: diff a radiocast manifest against the pinned schema.
+
+`radiocast run` promises a stable manifest layout (docs/experiments.md,
+"radiocast-manifest-v1"). Downstream tooling — reproduction scripts, the
+CI smoke gate, anyone grepping `manifest_digest` — depends on that shape,
+and the digests themselves cannot catch a *schema* drift (a renamed key
+changes the digest of every run equally). This script pins the shape
+independently of the values:
+
+  * the manifest is reduced to a type skeleton — objects keep their keys
+    (each mapped to the shape of its value), arrays collapse to the
+    unified shape of their elements, scalars collapse to a type name
+    ("string" | "number" | "bool" | "null");
+  * the skeleton is diffed, key by key, against the checked-in fixture
+    (tests/exp/data/manifest_schema.json).
+
+Regenerate the fixture after an *intentional* format change with:
+    radiocast run scenarios/ci_smoke.json --out out/
+    check_manifest_schema.py --dump out/ci_smoke.manifest.json \
+        > tests/exp/data/manifest_schema.json
+
+Usage:
+    check_manifest_schema.py --schema tests/exp/data/manifest_schema.json \
+                             out/ci_smoke.manifest.json
+    check_manifest_schema.py --dump <manifest.json>
+
+Exit codes: 0 ok, 1 shape drift, 2 usage or malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def shape_of(value):
+    """Recursive type skeleton of a JSON value. Ints and floats both map
+    to "number": the canonical writer prints 0.0 as 0, so the int/float
+    distinction is not a stable property of the format."""
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if value is None:
+        return "null"
+    if isinstance(value, list):
+        if not value:
+            return ["empty"]
+        elems = [shape_of(v) for v in value]
+        first = elems[0]
+        return [first if all(e == first for e in elems) else "mixed"]
+    if isinstance(value, dict):
+        return {k: shape_of(v) for k, v in sorted(value.items())}
+    raise TypeError(f"unhandled JSON value: {value!r}")
+
+
+def diff(expected, actual, path="$"):
+    """Flat list of human-readable differences between two skeletons.
+    An ["empty"] array on either side matches any array shape — a grid
+    with no faults still has `loss` cells, but e.g. report.columns may
+    legitimately be empty in one run and populated in another."""
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        out = []
+        for k in sorted(set(expected) | set(actual)):
+            here = f"{path}.{k}"
+            if k not in actual:
+                out.append(f"missing key: {here} (schema says {expected[k]})")
+            elif k not in expected:
+                out.append(f"unexpected key: {here} ({actual[k]})")
+            else:
+                out.extend(diff(expected[k], actual[k], here))
+        return out
+    if isinstance(expected, list) and isinstance(actual, list):
+        if expected == ["empty"] or actual == ["empty"]:
+            return []
+        return diff(expected[0], actual[0], f"{path}[]")
+    if expected != actual:
+        return [f"type mismatch at {path}: schema {expected}, manifest {actual}"]
+    return []
+
+
+def load(path: str):
+    try:
+        return json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("manifest", help="manifest JSON emitted by `radiocast run`")
+    ap.add_argument("--schema", help="pinned shape fixture to diff against")
+    ap.add_argument(
+        "--dump", action="store_true",
+        help="print the manifest's derived shape instead of checking",
+    )
+    args = ap.parse_args()
+    if not args.dump and not args.schema:
+        ap.error("either --schema FIXTURE or --dump is required")
+
+    skeleton = shape_of(load(args.manifest))
+    if args.dump:
+        print(json.dumps(skeleton, indent=2, sort_keys=True))
+        return 0
+
+    problems = diff(load(args.schema), skeleton)
+    if problems:
+        for p in problems:
+            print(f"DRIFT: {p}")
+        print(f"\nmanifest shape drifted from {args.schema} "
+              f"({len(problems)} difference(s)) — if intentional, regenerate "
+              "the fixture with --dump (see this script's docstring)")
+        return 1
+    print(f"ok: {args.manifest} matches the pinned manifest schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,12 +59,17 @@
 
 namespace radiocast::audit {
 
+/// Independent re-derivation of every round's model-mandated outcomes
+/// (see the file comment for the full check list).
 class ModelAuditor final : public core::RunAuditor {
  public:
+  /// `max_violations` caps stored violations; the count keeps incrementing.
   explicit ModelAuditor(std::size_t max_violations = 1024)
       : report_(max_violations) {}
 
+  /// Everything found so far (valid after end_run, or mid-run).
   const AuditReport& report() const { return report_; }
+  /// True iff no violation has been recorded.
   bool clean() const { return report_.clean(); }
   /// One-line human-readable summary ("clean" or first violations).
   std::string summary() const;

@@ -1,0 +1,40 @@
+// The `radiocast` experiment-orchestration command line.
+//
+// One entry point over the whole experiment stack (scenario specs →
+// montecarlo sweeps → manifests → markdown reports):
+//
+//   radiocast run <spec.json> [--out DIR] [--seeds N] [--threads N]
+//                 [--audit] [--quiet] [--require-delivery]
+//   radiocast report <results.json> [--out FILE]
+//   radiocast validate <spec.json>
+//   radiocast list [DIR]
+//   radiocast version
+//
+// `run` executes the scenario and writes `<out>/<id>.results.json` and
+// `<out>/<id>.manifest.json` (out defaults to the current directory),
+// printing the rendered report unless --quiet. Exit codes: 0 success,
+// 1 usage/spec/IO error, 2 audit violations, 3 delivery failure under
+// --require-delivery — so CI can gate on each independently.
+//
+// The logic lives in cli_main (called by the thin radiocast_main.cpp) so
+// tests can drive the command surface in-process.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace radiocast::cli {
+
+/// Runs one CLI invocation; argv[0] is ignored. Writes human output to
+/// `out` and errors to `err`.
+int cli_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
+
+/// Reads a whole file; throws std::runtime_error on failure.
+std::string read_file(const std::string& path);
+
+/// Writes a whole file (with trailing newline); throws on failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace radiocast::cli

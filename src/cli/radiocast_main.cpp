@@ -1,0 +1,12 @@
+// Thin shell around cli::cli_main (see cli/cli.hpp for the command
+// surface; the logic is library code so tests can drive it in-process).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return radiocast::cli::cli_main(args, std::cout, std::cerr);
+}

@@ -33,6 +33,7 @@ namespace radiocast::core::montecarlo {
 /// concurrency when `fallback` is 0. Always >= 1.
 int threads_from_env(int fallback = 0);
 
+/// Execution knobs for a sweep (everything else is per-trial state).
 struct Options {
   /// 0 = resolve via threads_from_env(); 1 = inline sequential execution.
   int threads = 0;

@@ -1,0 +1,72 @@
+#include "exp/manifest.hpp"
+
+#include <cstdio>
+
+namespace radiocast::exp {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string digest_string(std::string_view bytes) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "fnv1a64:%016llx",
+                static_cast<unsigned long long>(fnv1a64(bytes)));
+  return std::string(buf);
+}
+
+std::string digest_json(const JsonValue& v) { return digest_string(json_serialize(v)); }
+
+#ifndef RADIOCAST_GIT_DESCRIBE
+#define RADIOCAST_GIT_DESCRIBE "unknown"
+#endif
+#ifndef RADIOCAST_BUILD_TYPE
+#define RADIOCAST_BUILD_TYPE "unknown"
+#endif
+#ifndef RADIOCAST_CXX_FLAGS
+#define RADIOCAST_CXX_FLAGS ""
+#endif
+
+BuildInfo build_info() {
+  BuildInfo b;
+  b.git_describe = RADIOCAST_GIT_DESCRIBE;
+#if defined(__clang__)
+  b.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  b.compiler = std::string("gcc ") + __VERSION__;
+#else
+  b.compiler = "unknown";
+#endif
+  b.build_type = RADIOCAST_BUILD_TYPE;
+  b.cxx_flags = RADIOCAST_CXX_FLAGS;
+  return b;
+}
+
+JsonValue build_info_json() {
+  const BuildInfo b = build_info();
+  JsonObject o;
+  o.set("git_describe", b.git_describe);
+  o.set("compiler", b.compiler);
+  o.set("build_type", b.build_type);
+  o.set("cxx_flags", b.cxx_flags);
+  return JsonValue(std::move(o));
+}
+
+JsonValue make_manifest(JsonObject deterministic, JsonObject environment) {
+  const std::string digest = digest_json(JsonValue(deterministic));
+  deterministic.set("manifest_digest", digest);
+  deterministic.set("environment", JsonValue(std::move(environment)));
+  return JsonValue(std::move(deterministic));
+}
+
+std::string manifest_digest(const JsonValue& manifest) {
+  const JsonValue* d = manifest.as_object("manifest").find("manifest_digest");
+  return d != nullptr ? d->as_string("manifest.manifest_digest") : std::string();
+}
+
+}  // namespace radiocast::exp

@@ -1,0 +1,70 @@
+// Reproducible run manifests + the content digests they are built from.
+//
+// Every `radiocast run` emits, next to its results JSON, a manifest that
+// pins *everything* needed to reproduce the run and to detect that a
+// reproduction diverged:
+//
+//   * the resolved scenario spec (canonical serialization) + its digest,
+//   * the build (git describe, compiler, build type, CXX flags),
+//   * the fully-expanded seed grid (a pure function of seed_base),
+//   * one digest per trial (over the trial's RunResult, counters included)
+//     grouped per grid cell, plus a whole-results digest,
+//   * a manifest digest over all of the above.
+//
+// The only non-deterministic content is the trailing "environment" object
+// (thread budget, wall-clock timestamp, elapsed seconds); it is excluded
+// from manifest_digest, so two runs of the same spec on the same build
+// produce byte-identical manifests outside that object — at *any* thread
+// count, because core::montecarlo reduces trials in trial order. Pinned by
+// tests/exp/manifest_test.cpp.
+//
+// Digests are 64-bit FNV-1a over canonical JSON bytes, printed as
+// "fnv1a64:<16 hex digits>" — collision-resistant enough for regression
+// detection (they gate equality, not adversaries), cheap enough to digest
+// every trial.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "exp/jsonval.hpp"
+
+namespace radiocast::exp {
+
+/// 64-bit FNV-1a over a byte string.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// "fnv1a64:<16 lowercase hex digits>".
+std::string digest_string(std::string_view bytes);
+
+/// Digest of a JSON value's canonical (compact) serialization.
+std::string digest_json(const JsonValue& v);
+
+/// Build provenance baked in at compile/configure time (src/CMakeLists.txt
+/// injects the RADIOCAST_* definitions; "unknown" when unavailable).
+struct BuildInfo {
+  std::string git_describe;
+  std::string compiler;
+  std::string build_type;
+  std::string cxx_flags;
+};
+
+/// The running binary's build info.
+BuildInfo build_info();
+
+/// `build` section of the manifest.
+JsonValue build_info_json();
+
+/// Assembles the manifest document. `deterministic` must hold every
+/// reproducible section (scenario, seed_grid, cells, results_digest, ...);
+/// this function digests it, appends "manifest_digest", then appends the
+/// digest-excluded "environment" object.
+JsonValue make_manifest(JsonObject deterministic, JsonObject environment);
+
+/// The manifest's own digest field (recomputable by stripping
+/// "manifest_digest" and "environment" and re-digesting — what the CI
+/// schema check and the determinism tests do).
+std::string manifest_digest(const JsonValue& manifest);
+
+}  // namespace radiocast::exp

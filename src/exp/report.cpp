@@ -1,0 +1,265 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace radiocast::exp {
+
+namespace {
+
+const JsonValue& require(const JsonObject& o, std::string_view key,
+                         std::string_view ctx) {
+  const JsonValue* v = o.find(key);
+  if (v == nullptr)
+    throw JsonError(std::string(ctx) + ": missing \"" + std::string(key) + "\"");
+  return *v;
+}
+
+std::string fmt_cell(const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      return "-";
+    case JsonValue::Kind::kBool:
+      return v.as_bool() ? "yes" : "NO";
+    case JsonValue::Kind::kString:
+      return v.as_string();
+    default:
+      break;
+  }
+  if (v.is_number()) {
+    const double d = v.as_double();
+    if (d == std::floor(d) && std::fabs(d) < 1e15) {
+      return std::to_string(static_cast<std::int64_t>(d));
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", d);
+    return buf;
+  }
+  return "?";  // arrays/objects have no tabular rendering
+}
+
+/// Short display name for a metric column header.
+std::string display_name(const std::string& field) {
+  if (field == "r_per_pkt" || field == "rounds_per_pkt") return "r/pkt";
+  return field;
+}
+
+void emit_table(std::string& out, const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows) {
+  out += "|";
+  for (const std::string& h : headers) out += " " + h + " |";
+  out += "\n|";
+  for (std::size_t i = 0; i < headers.size(); ++i) out += "---|";
+  out += "\n";
+  for (const auto& row : rows) {
+    out += "|";
+    for (const std::string& cell : row) out += " " + cell + " |";
+    out += "\n";
+  }
+}
+
+struct Ratio {
+  std::string num, den, field;
+  bool valid = false;
+};
+
+Ratio parse_ratio(const std::string& spec) {
+  Ratio r;
+  const std::size_t slash = spec.find('/');
+  const std::size_t colon = spec.find(':');
+  if (slash == std::string::npos || colon == std::string::npos || colon < slash)
+    return r;
+  r.num = spec.substr(0, slash);
+  r.den = spec.substr(slash + 1, colon - slash - 1);
+  r.field = spec.substr(colon + 1);
+  r.valid = !r.num.empty() && !r.den.empty() && !r.field.empty();
+  return r;
+}
+
+}  // namespace
+
+std::string render_report(const JsonValue& results) {
+  const JsonObject& doc = results.as_object("results");
+  const std::string format = require(doc, "format", "results").as_string("results.format");
+  if (format != "radiocast-results-v1")
+    throw JsonError("results: unsupported format \"" + format + "\"");
+
+  const std::string id = require(doc, "scenario", "results").as_string("results.scenario");
+  const std::string title =
+      doc.contains("title") ? doc.find("title")->as_string("results.title") : "";
+  const std::string claim =
+      doc.contains("claim") ? doc.find("claim")->as_string("results.claim") : "";
+  const JsonObject& meta = require(doc, "meta", "results").as_object("results.meta");
+  const JsonObject& axes = require(doc, "axes", "results").as_object("results.axes");
+  const auto& rows_json = require(doc, "rows", "results").as_array("results.rows");
+  const JsonObject& report =
+      require(doc, "report", "results").as_object("results.report");
+
+  std::string out;
+  out += "### " + id;
+  if (!title.empty()) out += " — " + title;
+  out += "\n\n";
+  if (!claim.empty()) out += claim + "\n\n";
+
+  const auto meta_str = [&meta](std::string_view key) -> std::string {
+    const JsonValue* v = meta.find(key);
+    return v == nullptr ? std::string("?") : fmt_cell(*v);
+  };
+  out += "- graph: " + meta_str("graph") + " (D̂=" + meta_str("d_hat") +
+         ", log n=" + meta_str("log_n") + ", logΔ=" + meta_str("log_delta") + ")\n";
+  out += "- placement: " + meta_str("placement") + ", knowledge: " +
+         meta_str("knowledge") + ", mode: " + meta_str("mode") + "\n";
+  out += "- seeds: " + meta_str("seeds") + " (seed_base " + meta_str("seed_base") +
+         ")\n";
+  if (doc.contains("spec_digest"))
+    out += "- spec: " + doc.find("spec_digest")->as_string("results.spec_digest") + "\n";
+  out += "\n";
+
+  // Axes whose value set has more than one element become row-key columns.
+  std::vector<std::string> varying;
+  for (const auto& [name, values] : axes.members()) {
+    if (values.as_array("results.axes." + name).size() > 1) varying.push_back(name);
+  }
+
+  const std::string pivot =
+      report.contains("pivot") ? report.find("pivot")->as_string("report.pivot") : "";
+  const bool pivot_mode = !pivot.empty() && axes.contains(pivot);
+
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> table;
+
+  if (pivot_mode) {
+    // --- pivot mode: one row per non-pivot key, one column group per label.
+    std::vector<std::string> key_axes;
+    for (const std::string& a : varying)
+      if (a != pivot) key_axes.push_back(a);
+    if (key_axes.empty()) {
+      // Degenerate single-key grid: key on the first non-pivot axis so the
+      // table still has a leading identity column.
+      for (const auto& [name, values] : axes.members()) {
+        if (name != pivot) {
+          key_axes.push_back(name);
+          break;
+        }
+      }
+    }
+
+    std::vector<std::string> labels;
+    for (const JsonValue& l : axes.find(pivot)->as_array("results.axes"))
+      labels.push_back(fmt_cell(l));
+
+    std::vector<std::string> values;
+    if (report.contains("values")) {
+      for (const JsonValue& v : report.find("values")->as_array("report.values"))
+        values.push_back(v.as_string("report.values"));
+    }
+    if (values.empty()) values.push_back("r_per_pkt");
+
+    const Ratio ratio = parse_ratio(
+        report.contains("ratio") ? report.find("ratio")->as_string("report.ratio") : "");
+
+    headers = key_axes;
+    for (const std::string& label : labels)
+      for (const std::string& field : values)
+        headers.push_back(label + " " + display_name(field));
+    if (ratio.valid) headers.push_back(ratio.num + "/" + ratio.den);
+
+    // Group rows by key tuple in first-appearance order.
+    std::vector<std::string> group_keys;
+    std::vector<std::vector<const JsonObject*>> groups;  // per group: label-indexed
+    for (const JsonValue& row_val : rows_json) {
+      const JsonObject& row = row_val.as_object("results.rows[]");
+      std::string key;
+      for (const std::string& a : key_axes)
+        key += fmt_cell(require(row, a, "results.rows[]")) + "\x1f";
+      auto it = std::find(group_keys.begin(), group_keys.end(), key);
+      std::size_t gi;
+      if (it == group_keys.end()) {
+        gi = group_keys.size();
+        group_keys.push_back(key);
+        groups.emplace_back(labels.size(), nullptr);
+      } else {
+        gi = static_cast<std::size_t>(it - group_keys.begin());
+      }
+      const std::string label = fmt_cell(require(row, pivot, "results.rows[]"));
+      const auto li = std::find(labels.begin(), labels.end(), label);
+      if (li != labels.end())
+        groups[gi][static_cast<std::size_t>(li - labels.begin())] = &row;
+    }
+
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      std::vector<std::string> cells;
+      // Re-split the group key (fields never contain the separator).
+      std::string key = group_keys[gi];
+      std::size_t pos = 0;
+      for (std::size_t i = 0; i < key_axes.size(); ++i) {
+        const std::size_t end = key.find('\x1f', pos);
+        cells.push_back(key.substr(pos, end - pos));
+        pos = end + 1;
+      }
+      for (std::size_t li = 0; li < labels.size(); ++li) {
+        for (const std::string& field : values) {
+          const JsonObject* row = groups[gi][li];
+          const JsonValue* v = row == nullptr ? nullptr : row->find(field);
+          cells.push_back(v == nullptr ? "-" : fmt_cell(*v));
+        }
+      }
+      if (ratio.valid) {
+        const auto find_label = [&](const std::string& l) -> const JsonObject* {
+          const auto it = std::find(labels.begin(), labels.end(), l);
+          return it == labels.end() ? nullptr
+                                    : groups[gi][static_cast<std::size_t>(
+                                          it - labels.begin())];
+        };
+        const JsonObject* num = find_label(ratio.num);
+        const JsonObject* den = find_label(ratio.den);
+        double r = 0;
+        if (num != nullptr && den != nullptr && num->contains(ratio.field) &&
+            den->contains(ratio.field)) {
+          const double d = den->find(ratio.field)->as_double();
+          if (d != 0) r = num->find(ratio.field)->as_double() / d;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f", r);
+        cells.emplace_back(buf);
+      }
+      table.push_back(std::move(cells));
+    }
+  } else {
+    // --- plain mode: one row per cell; varying axes + metric columns.
+    std::vector<std::string> metric_cols;
+    if (report.contains("columns")) {
+      for (const JsonValue& c : report.find("columns")->as_array("report.columns"))
+        metric_cols.push_back(c.as_string("report.columns"));
+    }
+    if (metric_cols.empty()) {
+      // Default: every results column that is not an axis.
+      for (const JsonValue& c : require(doc, "columns", "results").as_array()) {
+        const std::string name = c.as_string("results.columns");
+        if (!axes.contains(name)) metric_cols.push_back(name);
+      }
+    }
+
+    headers = varying;
+    for (const std::string& c : metric_cols) headers.push_back(display_name(c));
+
+    for (const JsonValue& row_val : rows_json) {
+      const JsonObject& row = row_val.as_object("results.rows[]");
+      std::vector<std::string> cells;
+      for (const std::string& a : varying)
+        cells.push_back(fmt_cell(require(row, a, "results.rows[]")));
+      for (const std::string& c : metric_cols) {
+        const JsonValue* v = row.find(c);
+        cells.push_back(v == nullptr ? "-" : fmt_cell(*v));
+      }
+      table.push_back(std::move(cells));
+    }
+  }
+
+  emit_table(out, headers, table);
+  return out;
+}
+
+}  // namespace radiocast::exp

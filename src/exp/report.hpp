@@ -1,0 +1,29 @@
+// Markdown rendering of scenario results — `radiocast report`.
+//
+// Turns a results document (exp/run.hpp) into the markdown the repo's
+// EXPERIMENTS.md tables are written in, so every hand-maintained table is
+// regenerable with one command. Two shapes, selected by the scenario's
+// embedded "report" section:
+//
+//   * plain — one table row per grid cell; columns are the grid axes that
+//     actually vary plus the selected metric columns;
+//   * pivot — one row per combination of the non-pivot axes, one column
+//     group per pivot label (e.g. per algorithm), plus an optional ratio
+//     column ("num/den:field") — the E1 "uncoded/coded" shape.
+//
+// Rendering is deterministic: axis order comes from the results document,
+// numbers format integral-as-integer / else two decimals, booleans as
+// yes/NO. Golden-pinned by tests/exp/report_test.cpp.
+#pragma once
+
+#include <string>
+
+#include "exp/jsonval.hpp"
+
+namespace radiocast::exp {
+
+/// Renders the markdown report for a results document. Throws JsonError
+/// on malformed documents (wrong "format", missing sections).
+std::string render_report(const JsonValue& results);
+
+}  // namespace radiocast::exp

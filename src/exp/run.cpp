@@ -1,0 +1,452 @@
+#include "exp/run.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "audit/model_auditor.hpp"
+#include "baselines/uncoded_pipeline.hpp"
+#include "common/stats.hpp"
+#include "core/dynamic.hpp"
+#include "core/montecarlo.hpp"
+#include "core/schedule.hpp"
+#include "exp/manifest.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::exp {
+
+namespace {
+
+graph::Graph build_topology(const TopologySpec& t) {
+  Rng rng(t.seed);
+  if (t.family == "geometric" && t.radius > 0)
+    return graph::make_random_geometric(t.n, t.radius, rng);
+  if (t.family == "gnp" && t.p > 0) return graph::make_gnp_connected(t.n, t.p, rng);
+  if (t.family == "cluster_chain" && t.clique_size > 0) {
+    const std::uint32_t cliques = std::max<std::uint32_t>(1, t.n / t.clique_size);
+    return graph::make_cluster_chain(cliques, t.clique_size);
+  }
+  return graph::make_named(t.family, t.n, rng);
+}
+
+radio::Knowledge build_knowledge(const KnowledgeSpec& k, const graph::Graph& g) {
+  if (k.mode == "padded")
+    return radio::Knowledge::padded(g, k.poly_power, k.d_factor);
+  return radio::Knowledge::exact(g);
+}
+
+core::PlacementMode placement_mode(const std::string& s) {
+  if (s == "single_source") return core::PlacementMode::kSingleSource;
+  if (s == "spread_even") return core::PlacementMode::kSpreadEven;
+  return core::PlacementMode::kRandom;
+}
+
+baselines::Algo algo_from_string(const std::string& s) {
+  if (s == "coded") return baselines::Algo::kCoded;
+  if (s == "uncoded") return baselines::Algo::kUncodedPipeline;
+  if (s == "seq_bgi") return baselines::Algo::kSequentialBgi;
+  if (s == "gossip") return baselines::Algo::kGossipFlood;
+  throw JsonError("unknown algo \"" + s + "\"");
+}
+
+JsonValue counters_json(const radio::TraceCounters& c) {
+  JsonObject o;
+  o.set("transmissions", c.transmissions);
+  o.set("deliveries", c.deliveries);
+  o.set("collision_slots", c.collision_slots);
+  o.set("deaf_slots", c.deaf_slots);
+  o.set("fault_drops", c.fault_drops);
+  o.set("bits_transmitted", c.bits_transmitted);
+  o.set("bits_delivered", c.bits_delivered);
+  o.set("wakeups", c.wakeups);
+  return JsonValue(std::move(o));
+}
+
+/// Digest of everything a reproduction must match bit-for-bit: delivery
+/// outcome, all round counts, and the engine's channel counters.
+std::string digest_run(const core::RunResult& r) {
+  JsonObject o;
+  o.set("delivered_all", r.delivered_all);
+  o.set("timed_out", r.timed_out);
+  o.set("nodes_complete", static_cast<std::uint64_t>(r.nodes_complete));
+  o.set("total_rounds", r.total_rounds);
+  o.set("stage1", r.stage1_rounds);
+  o.set("stage2", r.stage2_rounds);
+  o.set("stage3", r.stage3_rounds);
+  o.set("stage4", r.stage4_rounds);
+  o.set("phases", static_cast<std::uint64_t>(r.collection_phases));
+  o.set("final_estimate", r.final_estimate);
+  o.set("counters", counters_json(r.counters));
+  return digest_json(JsonValue(std::move(o)));
+}
+
+std::string digest_dynamic(const core::DynamicRunResult& r) {
+  JsonObject o;
+  o.set("n", static_cast<std::uint64_t>(r.n));
+  o.set("k", static_cast<std::uint64_t>(r.k));
+  o.set("horizon", r.horizon);
+  o.set("delivered_everywhere", static_cast<std::uint64_t>(r.delivered_everywhere));
+  o.set("latency_mean", r.latency_mean);
+  o.set("latency_max", r.latency_max);
+  o.set("counters", counters_json(r.counters));
+  return digest_json(JsonValue(std::move(o)));
+}
+
+struct Cell {
+  std::string algo;
+  std::string placement;
+  std::uint32_t k = 0;
+  double loss = 0;
+  bool cd = false;
+};
+
+/// Shared scaffolding both modes fill in.
+struct Builder {
+  const ScenarioSpec& spec;
+  int resolved_threads;
+
+  std::vector<std::string> columns = {};
+  std::vector<JsonValue> rows = {};            // results rows
+  std::vector<JsonValue> manifest_cells = {};  // manifest cells (with digests)
+  JsonObject axes = {};
+  bool all_delivered = true;
+  bool audit_clean = true;
+  std::vector<std::string> audit_violations = {};
+
+  JsonValue meta_common(const graph::Graph& g, const radio::Knowledge& know) const {
+    JsonObject meta;
+    meta.set("graph", g.summary());
+    meta.set("n_hat", static_cast<std::uint64_t>(know.n_hat));
+    meta.set("delta_hat", static_cast<std::uint64_t>(know.delta_hat));
+    meta.set("d_hat", static_cast<std::uint64_t>(know.d_hat));
+    meta.set("log_n", static_cast<std::uint64_t>(know.log_n()));
+    meta.set("log_delta", static_cast<std::uint64_t>(know.log_delta()));
+    meta.set("mode", spec.mode);
+    {
+      std::string joined;
+      for (const std::string& p : spec.placement)
+        joined += (joined.empty() ? "" : ",") + p;
+      meta.set("placement", joined);
+    }
+    meta.set("knowledge", spec.knowledge.mode);
+    meta.set("seeds", static_cast<std::int64_t>(spec.seeds));
+    meta.set("seed_base", spec.seed_base);
+    meta.set("audit", spec.audit);
+    return JsonValue(std::move(meta));
+  }
+
+  ScenarioOutcome finish(const graph::Graph& g, const radio::Knowledge& know,
+                         double elapsed_seconds) {
+    const JsonValue spec_json = scenario_to_json(spec);
+    const std::string spec_digest = digest_json(spec_json);
+
+    JsonObject results;
+    results.set("format", "radiocast-results-v1");
+    results.set("scenario", spec.id);
+    results.set("title", spec.title);
+    results.set("claim", spec.claim);
+    results.set("spec_digest", spec_digest);
+    results.set("meta", meta_common(g, know));
+    results.set("axes", JsonValue(axes));
+    {
+      std::vector<JsonValue> cols(columns.begin(), columns.end());
+      results.set("columns", JsonValue(std::move(cols)));
+    }
+    results.set("rows", JsonValue(rows));
+    {
+      JsonObject report;
+      report.set("pivot", spec.report.pivot);
+      std::vector<JsonValue> values(spec.report.values.begin(), spec.report.values.end());
+      report.set("values", JsonValue(std::move(values)));
+      report.set("ratio", spec.report.ratio);
+      std::vector<JsonValue> cols(spec.report.columns.begin(), spec.report.columns.end());
+      report.set("columns", JsonValue(std::move(cols)));
+      results.set("report", JsonValue(std::move(report)));
+    }
+    const JsonValue results_doc{results};
+
+    JsonObject det;
+    det.set("format", "radiocast-manifest-v1");
+    det.set("scenario", spec_json);
+    det.set("spec_digest", spec_digest);
+    det.set("build", build_info_json());
+    {
+      JsonObject grid;
+      grid.set("seeds", static_cast<std::int64_t>(spec.seeds));
+      grid.set("seed_base", spec.seed_base);
+      std::vector<JsonValue> ps, rs, fs;
+      for (int t = 0; t < spec.seeds; ++t) {
+        ps.emplace_back(placement_seed(spec, t));
+        rs.emplace_back(run_seed(spec, t));
+        fs.emplace_back(fault_seed(spec, t));
+      }
+      grid.set("placement_seeds", JsonValue(std::move(ps)));
+      grid.set("run_seeds", JsonValue(std::move(rs)));
+      grid.set("fault_seeds", JsonValue(std::move(fs)));
+      det.set("seed_grid", JsonValue(std::move(grid)));
+    }
+    det.set("cells", JsonValue(manifest_cells));
+    det.set("results_digest", digest_json(results_doc));
+    det.set("audit_clean", audit_clean);
+
+    JsonObject env;
+    env.set("threads", static_cast<std::int64_t>(resolved_threads));
+    env.set("timestamp_utc", "");  // filled by the CLI; excluded from digests
+    env.set("elapsed_seconds", elapsed_seconds);
+
+    ScenarioOutcome out;
+    out.results = results_doc;
+    out.manifest = make_manifest(std::move(det), std::move(env));
+    out.audit_clean = audit_clean;
+    out.audit_violations = audit_violations;
+    out.all_delivered = all_delivered;
+    return out;
+  }
+};
+
+void run_kbroadcast_cells(Builder& b, const graph::Graph& g,
+                          const radio::Knowledge& know) {
+  const ScenarioSpec& spec = b.spec;
+  core::montecarlo::Options opts;
+  opts.threads = b.resolved_threads;
+
+  b.columns = {"algo",   "placement", "k",      "loss",   "cd",
+               "rounds", "r_per_pkt", "stage1", "stage2", "stage3",
+               "stage4", "phases",    "delivered", "ok"};
+  b.axes.set("algo", JsonValue(std::vector<JsonValue>(spec.algos.begin(), spec.algos.end())));
+  b.axes.set("placement", JsonValue(std::vector<JsonValue>(spec.placement.begin(),
+                                                           spec.placement.end())));
+  {
+    std::vector<JsonValue> ks, ls, cds;
+    for (const std::uint32_t k : spec.k) ks.emplace_back(static_cast<std::uint64_t>(k));
+    for (const double l : spec.loss) ls.emplace_back(l);
+    for (const bool c : spec.collision_detection) cds.emplace_back(c);
+    b.axes.set("k", JsonValue(std::move(ks)));
+    b.axes.set("loss", JsonValue(std::move(ls)));
+    b.axes.set("cd", JsonValue(std::move(cds)));
+  }
+
+  std::vector<Cell> cells;
+  for (const std::string& algo : spec.algos)
+    for (const std::string& placement : spec.placement)
+      for (const std::uint32_t k : spec.k)
+        for (const double loss : spec.loss)
+          for (const bool cd : spec.collision_detection)
+            cells.push_back({algo, placement, k, loss, cd});
+
+  for (const Cell& cell : cells) {
+    const baselines::Algo algo = algo_from_string(cell.algo);
+    const bool pipeline =
+        algo == baselines::Algo::kCoded || algo == baselines::Algo::kUncodedPipeline;
+
+    std::vector<core::RunResult> results;
+    std::vector<std::unique_ptr<audit::ModelAuditor>> auditors;
+    if (pipeline) {
+      core::montecarlo::KBroadcastSweep sweep;
+      sweep.graph = &g;
+      sweep.cfg = algo == baselines::Algo::kCoded
+                      ? baselines::coded_config(know)
+                      : baselines::uncoded_pipeline_config(know);
+      sweep.k = cell.k;
+      sweep.placement = placement_mode(cell.placement);
+      sweep.payload_bytes = spec.payload_bytes;
+      sweep.placement_seed = [&spec](int t) { return placement_seed(spec, t); };
+      sweep.run_seed = [&spec](int t) { return run_seed(spec, t); };
+      sweep.max_rounds = spec.max_rounds;
+      sweep.collision_detection = cell.cd;
+      if (cell.loss > 0) {
+        sweep.faults = [&spec, &cell](int t) {
+          radio::FaultModel f;
+          f.reception_loss_probability = cell.loss;
+          f.seed = fault_seed(spec, t);
+          return f;
+        };
+      }
+      if (spec.audit) {
+        auditors.resize(static_cast<std::size_t>(spec.seeds));
+        for (auto& a : auditors) a = std::make_unique<audit::ModelAuditor>();
+        sweep.auditor = [&auditors](int t) -> core::RunAuditor* {
+          return auditors[static_cast<std::size_t>(t)].get();
+        };
+      }
+      results = core::montecarlo::run_kbroadcast_sweep(sweep, spec.seeds, opts);
+    } else {
+      // seq_bgi / gossip go through the uniform baseline entry point
+      // (validate_scenario already rejected fault/CD/audit axes for them).
+      results = core::montecarlo::run(
+          spec.seeds,
+          [&](int t) {
+            Rng prng(placement_seed(spec, t));
+            const core::Placement placement = core::make_placement(
+                g.num_nodes(), cell.k, placement_mode(cell.placement),
+                spec.payload_bytes, prng);
+            return baselines::run_algo(algo, g, know, placement, run_seed(spec, t),
+                                       spec.max_rounds);
+          },
+          opts);
+    }
+
+    SampleSet rounds, rpp, s1, s2, s3, s4, phases;
+    int delivered = 0;
+    std::vector<std::string> trial_digests;
+    for (const core::RunResult& r : results) {
+      if (r.delivered_all) ++delivered;
+      rounds.add(static_cast<double>(r.total_rounds));
+      rpp.add(r.amortized_rounds_per_packet());
+      s1.add(static_cast<double>(r.stage1_rounds));
+      s2.add(static_cast<double>(r.stage2_rounds));
+      s3.add(static_cast<double>(r.stage3_rounds));
+      s4.add(static_cast<double>(r.stage4_rounds));
+      phases.add(static_cast<double>(r.collection_phases));
+      trial_digests.push_back(digest_run(r));
+    }
+    for (std::size_t t = 0; t < auditors.size(); ++t) {
+      if (!auditors[t]->clean()) {
+        b.audit_clean = false;
+        b.audit_violations.push_back(
+            "cell algo=" + cell.algo + " k=" + std::to_string(cell.k) + " trial " +
+            std::to_string(t) + ": " + auditors[t]->summary());
+      }
+    }
+    b.all_delivered = b.all_delivered && delivered == spec.seeds;
+
+    JsonObject row;
+    row.set("algo", cell.algo);
+    row.set("placement", cell.placement);
+    row.set("k", static_cast<std::uint64_t>(cell.k));
+    row.set("loss", cell.loss);
+    row.set("cd", cell.cd);
+    row.set("rounds", rounds.median());
+    row.set("r_per_pkt", rpp.median());
+    row.set("stage1", s1.median());
+    row.set("stage2", s2.median());
+    row.set("stage3", s3.median());
+    row.set("stage4", s4.median());
+    row.set("phases", phases.median());
+    row.set("delivered",
+            std::to_string(delivered) + "/" + std::to_string(spec.seeds));
+    row.set("ok", delivered == spec.seeds);
+    b.rows.emplace_back(std::move(row));
+
+    JsonObject mcell;
+    mcell.set("algo", cell.algo);
+    mcell.set("placement", cell.placement);
+    mcell.set("k", static_cast<std::uint64_t>(cell.k));
+    mcell.set("loss", cell.loss);
+    mcell.set("cd", cell.cd);
+    {
+      std::vector<JsonValue> td(trial_digests.begin(), trial_digests.end());
+      mcell.set("trial_digests", JsonValue(std::move(td)));
+    }
+    b.manifest_cells.emplace_back(std::move(mcell));
+  }
+}
+
+void run_dynamic_cells(Builder& b, const graph::Graph& g,
+                       const radio::Knowledge& know) {
+  const ScenarioSpec& spec = b.spec;
+  core::montecarlo::Options opts;
+  opts.threads = b.resolved_threads;
+
+  core::KBroadcastConfig kcfg;
+  kcfg.know = know;
+  core::DynamicConfig cfg;
+  cfg.rc = core::resolve(kcfg);
+  cfg.batch_capacity = spec.dynamic.batch_capacity;
+
+  const std::uint64_t epoch_estimate =
+      core::collection_phase_rounds(cfg.rc.initial_estimate, cfg.rc) +
+      cfg.dissemination_window();
+  const std::uint64_t spread =
+      cfg.rc.stage3_start() + spec.dynamic.arrival_epochs * epoch_estimate;
+
+  b.columns = {"load",
+               "k",
+               "delivered",
+               "latency_mean_epochs",
+               "latency_max_epochs",
+               "rounds_per_pkt"};
+  {
+    std::vector<JsonValue> loads;
+    for (const double l : spec.dynamic.load) loads.emplace_back(l);
+    b.axes.set("load", JsonValue(std::move(loads)));
+  }
+
+  for (const double load : spec.dynamic.load) {
+    const auto k = static_cast<std::uint32_t>(load * cfg.resolved_capacity() *
+                                              spec.dynamic.arrival_epochs);
+    const std::uint64_t horizon =
+        spread + (4 + static_cast<std::uint64_t>(2 * load)) * epoch_estimate;
+
+    const std::vector<core::DynamicRunResult> results = core::montecarlo::run(
+        spec.seeds,
+        [&](int t) {
+          Rng arng(placement_seed(spec, t));
+          std::vector<core::Arrival> arrivals = core::make_arrivals(
+              g.num_nodes(), k, spread, spec.payload_bytes, arng);
+          return core::run_dynamic_broadcast(g, cfg, std::move(arrivals), horizon,
+                                             run_seed(spec, t));
+        },
+        opts);
+
+    SampleSet lat_mean, lat_max, rppkt;
+    std::uint32_t delivered = 0, offered = 0;
+    std::vector<std::string> trial_digests;
+    for (const core::DynamicRunResult& r : results) {
+      delivered += r.delivered_everywhere;
+      offered += r.k;
+      lat_mean.add(r.latency_mean / static_cast<double>(epoch_estimate));
+      lat_max.add(r.latency_max / static_cast<double>(epoch_estimate));
+      if (r.delivered_everywhere > 0) {
+        rppkt.add(static_cast<double>(r.horizon - cfg.rc.stage3_start()) /
+                  r.delivered_everywhere);
+      }
+      trial_digests.push_back(digest_dynamic(r));
+    }
+    b.all_delivered = b.all_delivered && delivered == offered;
+
+    JsonObject row;
+    row.set("load", load);
+    row.set("k", static_cast<std::uint64_t>(k));
+    row.set("delivered",
+            std::to_string(delivered) + "/" + std::to_string(offered));
+    row.set("latency_mean_epochs", lat_mean.median());
+    row.set("latency_max_epochs", lat_max.median());
+    row.set("rounds_per_pkt", rppkt.median());
+    b.rows.emplace_back(std::move(row));
+
+    JsonObject mcell;
+    mcell.set("load", load);
+    mcell.set("k", static_cast<std::uint64_t>(k));
+    {
+      std::vector<JsonValue> td(trial_digests.begin(), trial_digests.end());
+      mcell.set("trial_digests", JsonValue(std::move(td)));
+    }
+    b.manifest_cells.emplace_back(std::move(mcell));
+  }
+}
+
+}  // namespace
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec) {
+  validate_scenario(spec);
+  const auto start = std::chrono::steady_clock::now();
+
+  const graph::Graph g = build_topology(spec.topology);
+  const radio::Knowledge know = build_knowledge(spec.knowledge, g);
+
+  Builder b{.spec = spec,
+            .resolved_threads = spec.threads > 0
+                                    ? spec.threads
+                                    : core::montecarlo::threads_from_env()};
+  if (spec.mode == "dynamic") {
+    run_dynamic_cells(b, g, know);
+  } else {
+    run_kbroadcast_cells(b, g, know);
+  }
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return b.finish(g, know, elapsed);
+}
+
+}  // namespace radiocast::exp

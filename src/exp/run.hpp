@@ -1,0 +1,42 @@
+// Scenario executor: expands a ScenarioSpec's grid into cells and runs
+// every cell through the Monte Carlo driver.
+//
+// Cell order is the deterministic cross product algos × k × loss × cd (or
+// the load axis in dynamic mode); within a cell, trials use the seed grid
+// of exp/scenario.hpp. The executor produces two documents:
+//
+//   * results — the rendered experiment: one row per cell with median
+//     statistics (the same reductions the historical benches printed) plus
+//     a per-cell digest; `radiocast report` turns this into markdown.
+//   * manifest — the reproducibility record (exp/manifest.hpp): resolved
+//     spec, build info, seed grid, per-trial digests.
+//
+// Statistics reduce in trial order (core::montecarlo's contract), so both
+// documents are independent of the thread budget.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/jsonval.hpp"
+#include "exp/scenario.hpp"
+
+namespace radiocast::exp {
+
+/// Everything one scenario execution produced.
+struct ScenarioOutcome {
+  JsonValue results;   ///< results document (see docs/experiments.md)
+  JsonValue manifest;  ///< manifest document (exp/manifest.hpp)
+  /// False iff spec.audit was set and any trial's ModelAuditor reported a
+  /// violation; the summaries then hold one line per dirty trial.
+  bool audit_clean = true;
+  std::vector<std::string> audit_violations;
+  /// True iff every trial in every cell delivered all packets.
+  bool all_delivered = true;
+};
+
+/// Runs the (validated) scenario. Throws JsonError on spec inconsistencies
+/// that only surface at execution time.
+ScenarioOutcome run_scenario(const ScenarioSpec& spec);
+
+}  // namespace radiocast::exp

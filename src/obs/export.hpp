@@ -17,6 +17,7 @@ class RunObserver;
 /// JSONL: one `{"type":"span",...}` line per span (in snapshot order) and
 /// one `{"type":"counter"|"gauge"|"histogram",...}` line per metric.
 void write_spans_jsonl(std::ostream& out, const std::vector<Span>& spans);
+/// JSONL: one line per counter/gauge/histogram in the snapshot.
 void write_metrics_jsonl(std::ostream& out, const MetricsSnapshot& metrics);
 
 /// Everything the observer captured, preceded by a `{"type":"run",...}`

@@ -20,10 +20,12 @@ namespace radiocast::obs {
 /// quotes added).
 std::string json_escape(std::string_view s);
 
+/// Comma-managing streaming emitter (see the file comment for guarantees).
 class JsonWriter {
  public:
   explicit JsonWriter(std::ostream& out) : out_(out) {}
 
+  /// Container delimiters; sibling commas are inserted automatically.
   JsonWriter& begin_object();
   JsonWriter& end_object();
   JsonWriter& begin_array();
@@ -32,6 +34,7 @@ class JsonWriter {
   /// Writes the key of the next object member. Must be inside an object.
   JsonWriter& key(std::string_view k);
 
+  /// Writes one scalar (an array element, or a member value after key()).
   JsonWriter& value(std::string_view v);
   JsonWriter& value(const char* v) { return value(std::string_view(v)); }
   JsonWriter& value(bool v);

@@ -91,6 +91,7 @@ struct MetricSample {
 /// Deterministically ordered (by name, then labels) set of samples.
 using MetricsSnapshot = std::vector<MetricSample>;
 
+/// Owns every instrument; hands out lifetime-stable references.
 class MetricsRegistry {
  public:
   /// Returns the instrument for (name, labels), creating it on first use.
@@ -102,6 +103,7 @@ class MetricsRegistry {
   Histogram& histogram(std::string_view name, LabelSet labels,
                        std::vector<double> bounds);
 
+  /// Number of distinct (name, labels) instruments created so far.
   std::size_t size() const { return instruments_.size(); }
 
   /// Copies every instrument into plain data, ordered by (name, labels).

@@ -48,8 +48,11 @@ struct RoundStats {
   const std::uint32_t* deliveries_by_kind = nullptr;
 };
 
+/// The flight recorder's sink: channel stats + protocol hooks in, span
+/// tree + labelled metrics out (see the file comment).
 class RunObserver {
  public:
+  /// Knobs for what gets recorded (all on by default).
   struct Options {
     SpanRecorder::Options recorder;
     /// Split per-stage transmission/delivery counters by message kind.
@@ -62,6 +65,7 @@ class RunObserver {
   explicit RunObserver(Options opts);
 
   // --- Fed by radio::Network (every round) ---
+  /// Folds one round's channel activity into the current stage's metrics.
   void on_round(const RoundStats& stats);
 
   // --- Fed by the protocol state machines (leader node) ---
@@ -84,11 +88,13 @@ class RunObserver {
   void finish(std::uint64_t end_round);
 
   // --- Results ---
+  /// Live access to the underlying registry / recorder.
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   SpanRecorder& recorder() { return recorder_; }
   const SpanRecorder& recorder() const { return recorder_; }
 
+  /// Point-in-time copies, safe to keep after the observer is destroyed.
   std::vector<Span> spans() const { return recorder_.snapshot(); }
   MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
 

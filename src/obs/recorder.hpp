@@ -27,11 +27,13 @@
 
 namespace radiocast::obs {
 
+/// One numeric key/value attached to a span (e.g. {"estimate", x}).
 struct SpanAttr {
   std::string key;
   std::uint64_t value = 0;
 };
 
+/// A named interval of simulation rounds in the span tree.
 struct Span {
   std::uint64_t id = 0;         ///< 1-based; 0 means "no span"
   std::uint64_t parent_id = 0;  ///< 0 for root spans
@@ -46,8 +48,10 @@ struct Span {
   std::uint64_t duration() const { return end_round - begin_round; }
 };
 
+/// LIFO span stack + bounded retention (see the file comment).
 class SpanRecorder {
  public:
+  /// Retention bounds; defaults keep every span up to the ring capacity.
   struct Options {
     /// Max closed spans retained (ring buffer); older spans are evicted.
     std::size_t capacity = 8192;
@@ -69,8 +73,11 @@ class SpanRecorder {
   /// Adds an attribute to a still-open span (no-op if `id` was sampled out).
   void add_attr(std::uint64_t id, std::string_view key, std::uint64_t value);
 
+  /// Currently open (unclosed) spans.
   std::size_t open_depth() const { return stack_.size(); }
+  /// Closed spans evicted by the ring buffer.
   std::uint64_t dropped_spans() const { return dropped_; }
+  /// Spans discarded by category sampling.
   std::uint64_t sampled_out_spans() const { return sampled_out_; }
 
   /// All retained spans — closed ones in close order, then any still-open

@@ -32,6 +32,7 @@
 
 namespace radiocast::radio {
 
+/// Per-run free pool of payload buffers (see file comment for the cycle).
 class PayloadArena {
  public:
   PayloadArena() = default;
@@ -118,9 +119,11 @@ class PayloadArena {
     }
   }
 
+  /// Buffers currently idle in the pool.
   std::size_t pooled() const { return pool_.size(); }
   /// Acquire calls served from the pool / from the heap (observability).
   std::uint64_t hits() const { return hits_; }
+  /// Acquire calls that fell back to a fresh heap buffer.
   std::uint64_t misses() const { return misses_; }
 
  private:

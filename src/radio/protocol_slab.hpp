@@ -23,6 +23,7 @@
 
 namespace radiocast::radio {
 
+/// Fixed-capacity placement-construction arena for one run's protocols.
 template <typename T>
 class ProtocolSlab {
  public:
@@ -54,6 +55,7 @@ class ProtocolSlab {
     return *slot;
   }
 
+  /// The i-th constructed protocol (bounds-checked in debug builds).
   T& operator[](std::size_t i) {
     RC_DCHECK(i < size_);
     return storage_[i];
@@ -63,7 +65,9 @@ class ProtocolSlab {
     return storage_[i];
   }
 
+  /// Protocols constructed so far.
   std::size_t size() const { return size_; }
+  /// Fixed construction-time capacity (storage never reallocates).
   std::size_t capacity() const { return capacity_; }
 
  private:

@@ -1,0 +1,67 @@
+// Golden-file tests for `radiocast report` markdown rendering. The golden
+// files live next to the fixtures in tests/exp/data/; regenerate with
+//   build/src/radiocast report <fixture> --out <golden>
+// after an intentional format change.
+#include "exp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "exp/jsonval.hpp"
+
+#ifndef RADIOCAST_TEST_DATA_DIR
+#define RADIOCAST_TEST_DATA_DIR "tests/exp/data"
+#endif
+
+namespace radiocast::exp {
+namespace {
+
+std::string slurp(const std::string& name) {
+  const std::string path = std::string(RADIOCAST_TEST_DATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// write_file appends a trailing newline when missing; render_report does
+/// not emit one, so normalize before comparing.
+std::string with_trailing_newline(std::string s) {
+  if (s.empty() || s.back() != '\n') s += '\n';
+  return s;
+}
+
+TEST(ReportGolden, PivotModeMatchesGoldenFile) {
+  const JsonValue results = json_parse(slurp("pivot_fixture.results.json"));
+  EXPECT_EQ(with_trailing_newline(render_report(results)),
+            slurp("pivot_fixture.golden.md"));
+}
+
+TEST(ReportGolden, PlainModeMatchesGoldenFile) {
+  const JsonValue results = json_parse(slurp("plain_fixture.results.json"));
+  EXPECT_EQ(with_trailing_newline(render_report(results)),
+            slurp("plain_fixture.golden.md"));
+}
+
+TEST(Report, RejectsUnknownFormat) {
+  const JsonValue bad = json_parse(R"({"format": "radiocast-results-v99"})");
+  EXPECT_THROW(render_report(bad), JsonError);
+  EXPECT_THROW(render_report(json_parse("{}")), JsonError);
+}
+
+TEST(Report, PivotFallsBackToPlainWhenAxisMissing) {
+  // A pivot naming a non-axis column renders in plain mode rather than
+  // throwing: the results file stays renderable even if the spec drifts.
+  JsonValue results = json_parse(slurp("pivot_fixture.results.json"));
+  JsonValue* report = results.as_object().find("report");
+  ASSERT_NE(report, nullptr);
+  report->as_object().set("pivot", "not_an_axis");
+  const std::string md = render_report(results);
+  EXPECT_NE(md.find("| algo | k |"), std::string::npos) << md;
+}
+
+}  // namespace
+}  // namespace radiocast::exp
