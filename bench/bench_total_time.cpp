@@ -7,12 +7,43 @@
 // Expected shape: stages 1-2 constant in k; stage 3 linear in k with slope
 // ~O(1) (and alarm-driven doubling visible in the phase counts); stage 4
 // linear in k with slope ~3·forward_phase/group_size = O(logΔ).
+//
+// Besides the paper columns this bench doubles as the end-to-end perf
+// gate: each row reports rounds/sec (simulated rounds per process-CPU
+// second, best of `reps` timed sweeps — the CPU clock aggregates the
+// Monte Carlo workers, so pin RADIOCAST_BENCH_THREADS when comparing).
+// `--smoke` shrinks the k grid for CI; the smoke rows are pinned in
+// bench/baselines/BENCH_E2_total_time.json and scripts/bench_compare.py
+// enforces exact deterministic columns + bounded rounds/sec regression.
+// The timed path runs with telemetry off (no tracer, no ledger), so this
+// gate is also the disabled-telemetry overhead assertion for ISSUE 6.
+#include <cstring>
+#include <ctime>
+
 #include "bench_util.hpp"
 
-int main() {
+namespace {
+
+/// Process CPU time in seconds — sums all Monte Carlo worker threads, so
+/// the derived throughput is insensitive to wall-clock noise from other
+/// tenants (and only mildly sensitive to the thread budget).
+double cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace radiocast;
   using namespace radiocast::benchutil;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   const int seeds = seeds_from_env();
+  const int reps = smoke ? 3 : 1;
 
   banner("E2 bench_total_time",
          "total rounds = O(k logD + (D+logn) logn logD), per-stage breakdown");
@@ -24,21 +55,35 @@ int main() {
 
   JsonReport json("E2_total_time");
   json.meta("claim", "total rounds = O(k logD + (D+logn) logn logD)")
-      .meta("graph", g.summary());
+      .meta("graph", g.summary())
+      .meta("smoke", smoke ? "1" : "0");
 
-  Table t({"k", "stage1", "stage2", "stage3", "stage4", "total", "phases", "r/pkt",
-           "ok"});
-  for (const std::uint32_t k : {8u, 32u, 128u, 512u, 2048u}) {
+  Table t({"k", "stage1", "stage2", "stage3", "stage4", "total", "p90", "phases",
+           "r/pkt", "rounds/sec", "ok"});
+  const std::vector<std::uint32_t> ks =
+      smoke ? std::vector<std::uint32_t>{8u, 32u, 128u}
+            : std::vector<std::uint32_t>{8u, 32u, 128u, 512u, 2048u};
+  for (const std::uint32_t k : ks) {
     core::montecarlo::KBroadcastSweep sweep;
     sweep.graph = &g;
     sweep.cfg = baselines::coded_config(know);
     sweep.k = k;
     sweep.placement_seed = [](int s) { return 500 + static_cast<std::uint64_t>(s); };
     sweep.run_seed = [](int s) { return 900 + static_cast<std::uint64_t>(s); };
-    const std::vector<core::RunResult> results =
-        core::montecarlo::run_kbroadcast_sweep(sweep, seeds);
 
-    SampleSet s1, s2, s3, s4, total, phases, rpp;
+    // Timed reps re-run the identical deterministic sweep; the stats below
+    // reduce the last rep's results (identical to every other rep's).
+    std::vector<core::RunResult> results;
+    double best_seconds = 1e100;
+    for (int rep = 0; rep < reps; ++rep) {
+      const double start = cpu_seconds();
+      results = core::montecarlo::run_kbroadcast_sweep(sweep, seeds);
+      const double elapsed = cpu_seconds() - start;
+      if (elapsed < best_seconds) best_seconds = elapsed;
+    }
+
+    RunningStats s1, s2, s3, s4, total, phases, rpp;
+    std::uint64_t simulated_rounds = 0;
     int ok = 0, runs = 0;
     for (const core::RunResult& r : results) {
       ++runs;
@@ -50,7 +95,9 @@ int main() {
       total.add(static_cast<double>(r.total_rounds));
       phases.add(static_cast<double>(r.collection_phases));
       rpp.add(r.amortized_rounds_per_packet());
+      simulated_rounds += r.total_rounds;
     }
+    const double rps = static_cast<double>(simulated_rounds) / best_seconds;
     t.row()
         .add(k)
         .add(s1.median(), 0)
@@ -58,8 +105,10 @@ int main() {
         .add(s3.median(), 0)
         .add(s4.median(), 0)
         .add(total.median(), 0)
+        .add(total.percentile(0.9), 0)
         .add(phases.median(), 0)
         .add(rpp.median(), 1)
+        .add(rps, 0)
         .add(ok == runs ? "yes" : "NO");
     json.row()
         .col("k", k)
@@ -68,8 +117,11 @@ int main() {
         .col("stage3", s3.median())
         .col("stage4", s4.median())
         .col("total", total.median())
+        .col("total_p90", total.percentile(0.9))
+        .col("total_max", total.max())
         .col("phases", phases.median())
         .col("rounds_per_packet", rpp.median())
+        .col("rounds_per_sec", rps)
         .col("all_delivered", ok == runs);
   }
   t.print(std::cout);

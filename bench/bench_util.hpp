@@ -37,6 +37,11 @@ inline int seeds_from_env(int default_seeds = 3) {
 inline int threads_from_env() { return core::montecarlo::threads_from_env(); }
 
 /// Median completion rounds (and success count) of `algo` over seeds.
+///
+/// Reductions are RunningStats nearest-rank percentiles — exact order
+/// statistics while the seed grid fits RunningStats::kPercentileBuffer
+/// (it always does: the env default is 3 and CI never exceeds a few
+/// dozen), deterministic in trial order at any thread count.
 struct AlgoStats {
   double median_rounds = 0;
   double median_amortized = 0;
@@ -45,6 +50,14 @@ struct AlgoStats {
   double median_phases = 0;
   double median_stage3 = 0;
   double median_stage4 = 0;
+  /// Tail of the completion-time distribution over the seed grid: p90 and
+  /// worst observed total rounds, so scaling benches can report spread
+  /// instead of a bare median.
+  double p90_rounds = 0;
+  double max_rounds = 0;
+  /// True iff every percentile above is an exact order statistic (the
+  /// seed grid fit the RunningStats sample buffer).
+  bool exact_percentiles = true;
 };
 
 inline AlgoStats run_seeds(baselines::Algo algo, const graph::Graph& g,
@@ -63,7 +76,7 @@ inline AlgoStats run_seeds(baselines::Algo algo, const graph::Graph& g,
                                    seed_base + 1000 + static_cast<std::uint64_t>(s));
       });
   AlgoStats out;
-  SampleSet rounds, amortized, phases, s3, s4;
+  RunningStats rounds, amortized, phases, s3, s4;
   for (const core::RunResult& r : results) {
     ++out.runs;
     if (r.delivered_all) ++out.successes;
@@ -78,6 +91,9 @@ inline AlgoStats run_seeds(baselines::Algo algo, const graph::Graph& g,
   out.median_phases = phases.median();
   out.median_stage3 = s3.median();
   out.median_stage4 = s4.median();
+  out.p90_rounds = rounds.percentile(0.9);
+  out.max_rounds = rounds.max();
+  out.exact_percentiles = rounds.percentile_exact();
   return out;
 }
 

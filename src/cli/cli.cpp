@@ -24,12 +24,16 @@ constexpr const char* kUsage = R"(radiocast — declarative experiment orchestra
 usage:
   radiocast run <spec.json> [--out DIR] [--seeds N] [--threads N]
                 [--audit] [--quiet] [--require-delivery]
+  radiocast trace <spec.json> [run options]
   radiocast report <results.json> [--out FILE]
   radiocast validate <spec.json>
   radiocast list [DIR]
   radiocast version
 
 run       execute a scenario; writes <id>.results.json + <id>.manifest.json
+          (+ <id>.telemetry.jsonl when the spec enables telemetry)
+trace     run with per-packet telemetry + flight paths forced on; also
+          writes <id>.flight_trace.json (Chrome trace_event format)
 report    render a results file as a markdown table
 validate  parse + validate a spec, print its canonical resolved form
 list      summarize the scenario files in DIR (default: scenarios/)
@@ -52,7 +56,7 @@ std::string now_utc_iso8601() {
 }
 
 int cmd_run(const std::vector<std::string>& args, std::ostream& out,
-            std::ostream& err) {
+            std::ostream& err, bool trace_mode = false) {
   std::string spec_path, out_dir = ".";
   int seeds_override = 0, threads_override = -1;
   bool audit_override = false, quiet = false, require_delivery = false;
@@ -88,6 +92,10 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
   if (seeds_override > 0) spec.seeds = seeds_override;
   if (threads_override >= 0) spec.threads = threads_override;
   if (audit_override) spec.audit = true;
+  if (trace_mode) {
+    spec.telemetry.enabled = true;
+    spec.telemetry.flight_paths = true;
+  }
   exp::validate_scenario(spec);  // overrides may have invalidated the spec
 
   exp::ScenarioOutcome outcome = exp::run_scenario(spec);
@@ -107,6 +115,25 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
   out << "results:  " << results_path << "\n";
   out << "manifest: " << manifest_path << " ("
       << exp::manifest_digest(outcome.manifest) << ")\n";
+
+  if (spec.telemetry.enabled) {
+    const std::string telemetry_path = out_dir + "/" + spec.id + ".telemetry.jsonl";
+    write_file(telemetry_path, outcome.telemetry);
+    std::string digest;
+    if (const exp::JsonValue* d = manifest.find("telemetry_digest"))
+      digest = d->as_string("manifest.telemetry_digest");
+    out << "telemetry: " << telemetry_path << " (" << digest << ")\n";
+    if (!outcome.flight_trace.empty()) {
+      const std::string trace_path = out_dir + "/" + spec.id + ".flight_trace.json";
+      write_file(trace_path, outcome.flight_trace);
+      out << "flight trace: " << trace_path << "\n";
+    }
+  }
+  if (outcome.dropped_trace_events > 0) {
+    err << "warning: " << outcome.dropped_trace_events
+        << " engine trace events were dropped (bounded event log overflowed); "
+           "per-event artifacts are incomplete\n";
+  }
 
   if (!outcome.audit_clean) {
     err << "AUDIT VIOLATIONS:\n";
@@ -208,6 +235,7 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
     const std::string& cmd = args[0];
     const std::vector<std::string> rest(args.begin() + 1, args.end());
     if (cmd == "run") return cmd_run(rest, out, err);
+    if (cmd == "trace") return cmd_run(rest, out, err, /*trace_mode=*/true);
     if (cmd == "report") return cmd_report(rest, out);
     if (cmd == "validate") return cmd_validate(rest, out);
     if (cmd == "list") return cmd_list(rest, out);

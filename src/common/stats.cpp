@@ -19,6 +19,18 @@ void RunningStats::add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
+  if (buffer_.size() < kPercentileBuffer) buffer_.push_back(x);
+}
+
+double RunningStats::percentile(double q) const {
+  RC_ASSERT(q >= 0.0 && q <= 1.0);
+  if (buffer_.empty()) return 0.0;
+  std::vector<double> sorted(buffer_);
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const std::size_t rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(q * static_cast<double>(n))));
+  return sorted[std::min(rank, n) - 1];
 }
 
 double RunningStats::variance() const {

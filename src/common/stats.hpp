@@ -9,8 +9,21 @@
 namespace radiocast {
 
 /// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Also retains the first kPercentileBuffer samples so percentile() is
+/// *exact* (nearest-rank on a sorted copy) for the sample counts the bench
+/// harness actually sees; past that the buffer stops growing and
+/// percentile() degrades to a nearest-rank estimate over the retained
+/// prefix — percentile_exact() reports which regime applies. The result is
+/// deterministic either way: it depends only on the multiset (and, beyond
+/// the buffer, the order) of added samples, never on wall clock or
+/// addresses.
 class RunningStats {
  public:
+  /// Samples retained for exact percentiles; bench tables reduce over
+  /// seeds (≤ a few dozen), so this covers them with exactness to spare.
+  static constexpr std::size_t kPercentileBuffer = 64;
+
   void add(double x);
 
   std::size_t count() const { return count_; }
@@ -26,6 +39,17 @@ class RunningStats {
   double max() const { return count_ == 0 ? 0.0 : max_; }
   double sum() const { return sum_; }
 
+  /// Nearest-rank percentile (rank = max(1, ceil(q*n)), q in [0, 1]) over
+  /// the retained sample buffer — an order statistic of the actual
+  /// samples, never an interpolated value. Exact while
+  /// percentile_exact(); 0.0 on an empty accumulator (same caveat as
+  /// min()/max()).
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+  /// True while every added sample is still retained, i.e. count() <=
+  /// kPercentileBuffer, so percentile() is exact.
+  bool percentile_exact() const { return count_ <= kPercentileBuffer; }
+
   /// Half-width of a normal-approximation 95% confidence interval on the
   /// mean. Zero for fewer than two samples.
   double ci95_halfwidth() const;
@@ -37,6 +61,7 @@ class RunningStats {
   double min_ = 0.0;
   double max_ = 0.0;
   double sum_ = 0.0;
+  std::vector<double> buffer_;  // first kPercentileBuffer samples
 };
 
 /// Accumulator that stores every sample; supports exact quantiles.

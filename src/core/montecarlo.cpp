@@ -72,9 +72,11 @@ std::vector<RunResult> run_kbroadcast_sweep(const KBroadcastSweep& sweep,
         obs::RunObserver* observer =
             sweep.observer ? sweep.observer(t) : nullptr;
         RunAuditor* auditor = sweep.auditor ? sweep.auditor(t) : nullptr;
+        obs::PacketTracer* tracer = sweep.tracer ? sweep.tracer(t) : nullptr;
         return run_kbroadcast(*sweep.graph, sweep.cfg, placement,
                               sweep.run_seed(t), sweep.max_rounds, faults,
-                              observer, auditor, sweep.collision_detection);
+                              observer, auditor, sweep.collision_detection,
+                              tracer);
       },
       opts);
 }

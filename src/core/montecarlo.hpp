@@ -85,6 +85,10 @@ struct KBroadcastSweep {
   /// as `observer`. Distinct trials must get distinct auditors when the
   /// sweep runs multithreaded (empty = no auditing).
   std::function<RunAuditor*(int)> auditor;
+  /// Optional per-trial packet-lifecycle tracer (obs/packet_trace.hpp);
+  /// same lifetime and distinct-per-trial contracts as `auditor` (empty =
+  /// no tracing).
+  std::function<obs::PacketTracer*(int)> tracer;
   /// Engine ablation: run every trial with collision detection enabled.
   bool collision_detection = false;
 };

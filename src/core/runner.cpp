@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "core/audit.hpp"
+#include "obs/packet_trace.hpp"
 #include "core/protocol.hpp"
 #include "core/schedule.hpp"
 #include "graph/algorithms.hpp"
@@ -77,7 +78,7 @@ RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
                          const Placement& placement, std::uint64_t seed,
                          std::uint64_t max_rounds, const radio::FaultModel& faults,
                          obs::RunObserver* observer, RunAuditor* auditor,
-                         bool collision_detection) {
+                         bool collision_detection, obs::PacketTracer* tracer) {
   RC_ASSERT(g.finalized());
   RC_ASSERT(placement.size() == g.num_nodes());
   const ResolvedConfig rc = resolve(cfg);
@@ -108,6 +109,12 @@ RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
   if (auditor != nullptr) {
     auditor->begin_run(g, rc, truth, faults, collision_detection);
   }
+  if (tracer != nullptr) {
+    tracer->begin_trial(g.num_nodes(), truth, rc.group_size);
+    for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (const radio::Packet& p : placement[v]) tracer->seed_packet(p.id, v);
+    }
+  }
 
   // All protocol instances live in one contiguous slab (declared before the
   // network so it outlives the non-owning pointers handed to it).
@@ -116,7 +123,17 @@ RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
   if (faults.reception_loss_probability > 0.0) net.set_fault_model(faults);
   if (collision_detection) net.enable_collision_detection(true);
   net.set_observer(observer);
-  net.set_auditor(auditor);
+  // The engine has one audit-hook slot; when both a model auditor and a
+  // packet tracer are requested they share it through a tee (stack-owned:
+  // it must outlive the network's last step, which ends with this call).
+  radio::AuditHookTee tee(auditor, tracer);
+  if (auditor != nullptr && tracer != nullptr) {
+    net.set_auditor(&tee);
+  } else if (tracer != nullptr) {
+    net.set_auditor(tracer);
+  } else {
+    net.set_auditor(auditor);
+  }
   Rng master(seed);
   for (radio::NodeId v = 0; v < g.num_nodes(); ++v) {
     Rng child = master.split();
@@ -131,8 +148,14 @@ RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
   result.timed_out = !all_done;
   result.total_rounds = net.current_round();
   result.counters = net.trace().counters();
+  result.dropped_trace_events = net.trace().dropped_events();
   if (observer != nullptr) {
     observer->finish(result.total_rounds);
+    if (result.dropped_trace_events > 0) {
+      observer->metrics()
+          .counter("trace.dropped_events")
+          .inc(result.dropped_trace_events);
+    }
     result.metrics = observer->metrics_snapshot();
   }
 

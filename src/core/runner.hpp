@@ -19,6 +19,10 @@
 #include "radio/network.hpp"
 #include "radio/trace.hpp"
 
+namespace radiocast::obs {
+class PacketTracer;
+}
+
 namespace radiocast::core {
 
 class RunAuditor;
@@ -62,6 +66,11 @@ struct RunResult {
 
   radio::TraceCounters counters;
 
+  /// Events the engine's bounded trace log discarded (radio::Trace::
+  /// dropped_events). Zero unless event logging was enabled and overflowed
+  /// — nonzero means per-event artifacts of this run are incomplete.
+  std::uint64_t dropped_trace_events = 0;
+
   /// Flight-recorder metrics snapshot — filled only when an observer was
   /// passed to run_kbroadcast (empty otherwise). Span data stays on the
   /// observer itself (ask it for spans() / feed it to obs::write_*).
@@ -85,14 +94,20 @@ struct RunResult {
 /// auditing is read-only, so an audited run is bit-identical to an
 /// unaudited one. `collision_detection` forwards the engine ablation flag
 /// (see radio::Network::enable_collision_detection).
+/// `tracer`, when non-null, records per-packet lifecycle telemetry (first
+/// receptions, decode rounds, flight paths — see obs/packet_trace.hpp);
+/// the runner arms it with the run's ground truth and placement and tees
+/// it with the auditor when both are present. Like the auditor it is
+/// read-only: a traced run is bit-identical to an untraced one.
 /// Note: a run with zero packets returns vacuously without building a
-/// network, so the auditor is never invoked for it.
+/// network, so the auditor and tracer are never invoked for it.
 RunResult run_kbroadcast(const graph::Graph& g, const KBroadcastConfig& cfg,
                          const Placement& placement, std::uint64_t seed,
                          std::uint64_t max_rounds = 0,
                          const radio::FaultModel& faults = {},
                          obs::RunObserver* observer = nullptr,
                          RunAuditor* auditor = nullptr,
-                         bool collision_detection = false);
+                         bool collision_detection = false,
+                         obs::PacketTracer* tracer = nullptr);
 
 }  // namespace radiocast::core

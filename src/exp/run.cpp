@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 
 #include "audit/model_auditor.hpp"
 #include "baselines/uncoded_pipeline.hpp"
@@ -11,6 +12,8 @@
 #include "core/schedule.hpp"
 #include "exp/manifest.hpp"
 #include "graph/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/packet_trace.hpp"
 
 namespace radiocast::exp {
 
@@ -99,6 +102,36 @@ struct Cell {
   bool cd = false;
 };
 
+/// One compact JSONL line (the telemetry document is line-oriented so the
+/// schema checker and jq can stream it).
+std::string telemetry_line(JsonObject o) {
+  return json_serialize(JsonValue(std::move(o)), 0);
+}
+
+/// Shared latency-summary fields of "latency" and "packet" lines.
+void set_latency_stats(JsonObject& o, const obs::LogHistogram& h) {
+  o.set("count", h.count());
+  o.set("mean", h.mean());
+  o.set("p50", h.p50());
+  o.set("p90", h.p90());
+  o.set("p99", h.p99());
+  o.set("min", h.min());
+  o.set("max", h.max());
+}
+
+/// Nonzero histogram buckets as [[bucket, count], ...].
+JsonValue buckets_json(const obs::LogHistogram& h) {
+  std::vector<JsonValue> out;
+  for (std::size_t i = 0; i < obs::LogHistogram::kNumBuckets; ++i) {
+    if (h.buckets()[i] == 0) continue;
+    std::vector<JsonValue> pair;
+    pair.emplace_back(static_cast<std::uint64_t>(i));
+    pair.emplace_back(h.buckets()[i]);
+    out.emplace_back(std::move(pair));
+  }
+  return JsonValue(std::move(out));
+}
+
 /// Shared scaffolding both modes fill in.
 struct Builder {
   const ScenarioSpec& spec;
@@ -111,6 +144,15 @@ struct Builder {
   bool all_delivered = true;
   bool audit_clean = true;
   std::vector<std::string> audit_violations = {};
+
+  // Telemetry accumulation (cells append lines; finish() wraps them in
+  // header/summary lines and digests the document).
+  std::vector<std::string> telemetry_lines = {};
+  std::string flight_trace = {};
+  std::uint64_t packets_tracked = 0;
+  std::uint64_t dropped_flight_events = 0;
+  std::uint64_t dropped_ledger_rows = 0;
+  std::uint64_t dropped_trace_events = 0;
 
   JsonValue meta_common(const graph::Graph& g, const radio::Knowledge& know) const {
     JsonObject meta;
@@ -188,10 +230,36 @@ struct Builder {
     det.set("results_digest", digest_json(results_doc));
     det.set("audit_clean", audit_clean);
 
+    // Assemble the telemetry document (header + cell lines + summary).
+    // "telemetry_digest" is always present — the empty string when
+    // telemetry is disabled — so the manifest shape is schema-stable.
+    std::string telemetry;
+    if (spec.telemetry.enabled) {
+      JsonObject header;
+      header.set("type", "header");
+      header.set("format", "radiocast-telemetry-v1");
+      header.set("scenario", spec.id);
+      header.set("spec_digest", spec_digest);
+      header.set("trials", static_cast<std::int64_t>(spec.seeds));
+      header.set("flight_paths", spec.telemetry.flight_paths);
+      telemetry += telemetry_line(std::move(header)) + "\n";
+      for (const std::string& line : telemetry_lines) telemetry += line + "\n";
+      JsonObject summary;
+      summary.set("type", "summary");
+      summary.set("packets", packets_tracked);
+      summary.set("dropped_flight_events", dropped_flight_events);
+      summary.set("dropped_ledger_rows", dropped_ledger_rows);
+      summary.set("dropped_trace_events", dropped_trace_events);
+      telemetry += telemetry_line(std::move(summary)) + "\n";
+    }
+    det.set("telemetry_digest",
+            spec.telemetry.enabled ? digest_string(telemetry) : std::string());
+
     JsonObject env;
     env.set("threads", static_cast<std::int64_t>(resolved_threads));
     env.set("timestamp_utc", "");  // filled by the CLI; excluded from digests
     env.set("elapsed_seconds", elapsed_seconds);
+    env.set("dropped_trace_events", dropped_trace_events);
 
     ScenarioOutcome out;
     out.results = results_doc;
@@ -199,6 +267,9 @@ struct Builder {
     out.audit_clean = audit_clean;
     out.audit_violations = audit_violations;
     out.all_delivered = all_delivered;
+    out.telemetry = std::move(telemetry);
+    out.flight_trace = std::move(flight_trace);
+    out.dropped_trace_events = dropped_trace_events;
     return out;
   }
 };
@@ -209,9 +280,16 @@ void run_kbroadcast_cells(Builder& b, const graph::Graph& g,
   core::montecarlo::Options opts;
   opts.threads = b.resolved_threads;
 
+  const bool telemetry = spec.telemetry.enabled;
+
   b.columns = {"algo",   "placement", "k",      "loss",   "cd",
                "rounds", "r_per_pkt", "stage1", "stage2", "stage3",
                "stage4", "phases",    "delivered", "ok"};
+  if (telemetry) {
+    // Per-packet delivery-latency percentiles (pooled over packets, nodes
+    // and trials; null for non-pipeline algos, which have no tracer).
+    b.columns.insert(b.columns.end(), {"lat_p50", "lat_p90", "lat_p99", "lat_max"});
+  }
   b.axes.set("algo", JsonValue(std::vector<JsonValue>(spec.algos.begin(), spec.algos.end())));
   b.axes.set("placement", JsonValue(std::vector<JsonValue>(spec.placement.begin(),
                                                            spec.placement.end())));
@@ -240,6 +318,8 @@ void run_kbroadcast_cells(Builder& b, const graph::Graph& g,
 
     std::vector<core::RunResult> results;
     std::vector<std::unique_ptr<audit::ModelAuditor>> auditors;
+    std::vector<std::unique_ptr<obs::PacketTracer>> tracers;
+    std::vector<std::unique_ptr<obs::RunObserver>> observers;
     if (pipeline) {
       core::montecarlo::KBroadcastSweep sweep;
       sweep.graph = &g;
@@ -268,6 +348,28 @@ void run_kbroadcast_cells(Builder& b, const graph::Graph& g,
           return auditors[static_cast<std::size_t>(t)].get();
         };
       }
+      if (telemetry) {
+        // One tracer + one ledger-bearing observer per trial (the sweep
+        // may run them concurrently); merged below in trial order.
+        obs::PacketTracer::Options topts;
+        topts.flight_paths = spec.telemetry.flight_paths;
+        topts.max_flight_events =
+            static_cast<std::size_t>(spec.telemetry.max_flight_events);
+        obs::RunObserver::Options oopts;
+        oopts.channel_ledger = true;
+        oopts.ledger_max_rounds =
+            static_cast<std::size_t>(spec.telemetry.ledger_rounds);
+        tracers.resize(static_cast<std::size_t>(spec.seeds));
+        observers.resize(static_cast<std::size_t>(spec.seeds));
+        for (auto& tr : tracers) tr = std::make_unique<obs::PacketTracer>(topts);
+        for (auto& ob : observers) ob = std::make_unique<obs::RunObserver>(oopts);
+        sweep.tracer = [&tracers](int t) {
+          return tracers[static_cast<std::size_t>(t)].get();
+        };
+        sweep.observer = [&observers](int t) {
+          return observers[static_cast<std::size_t>(t)].get();
+        };
+      }
       results = core::montecarlo::run_kbroadcast_sweep(sweep, spec.seeds, opts);
     } else {
       // seq_bgi / gossip go through the uniform baseline entry point
@@ -289,6 +391,7 @@ void run_kbroadcast_cells(Builder& b, const graph::Graph& g,
     int delivered = 0;
     std::vector<std::string> trial_digests;
     for (const core::RunResult& r : results) {
+      b.dropped_trace_events += r.dropped_trace_events;
       if (r.delivered_all) ++delivered;
       rounds.add(static_cast<double>(r.total_rounds));
       rpp.add(r.amortized_rounds_per_packet());
@@ -309,6 +412,140 @@ void run_kbroadcast_cells(Builder& b, const graph::Graph& g,
     }
     b.all_delivered = b.all_delivered && delivered == spec.seeds;
 
+    // --- Telemetry emission (pipeline cells only: seq_bgi/gossip run
+    // through run_algo, which has no audit tap to trace). Every reduction
+    // below walks trials in trial order, so the document is byte-identical
+    // at any thread count.
+    obs::LogHistogram cell_latency;
+    if (telemetry && pipeline) {
+      JsonObject cl;
+      cl.set("type", "cell");
+      cl.set("algo", cell.algo);
+      cl.set("placement", cell.placement);
+      cl.set("k", static_cast<std::uint64_t>(cell.k));
+      cl.set("loss", cell.loss);
+      cl.set("cd", cell.cd);
+      b.telemetry_lines.push_back(telemetry_line(std::move(cl)));
+
+      for (const auto& tr : tracers) cell_latency.merge(tr->all_latencies());
+      {
+        JsonObject l;
+        l.set("type", "latency");
+        set_latency_stats(l, cell_latency);
+        l.set("buckets", buckets_json(cell_latency));
+        b.telemetry_lines.push_back(telemetry_line(std::move(l)));
+      }
+
+      // Per-packet lines: index = position in truth order, which is the
+      // stable cross-trial identity (concrete packet ids differ per trial).
+      const std::uint32_t n = tracers.front()->num_nodes();
+      for (std::uint32_t p = 0; p < cell.k; ++p) {
+        obs::LogHistogram h;
+        std::uint64_t undelivered = 0;
+        std::uint64_t max_depth = 0;
+        for (const auto& tr : tracers) {
+          h.merge(tr->packet_latencies(p));
+          undelivered += tr->undelivered(p);
+          for (radio::NodeId v = 0; v < n; ++v) {
+            if (tr->held(p, v))
+              max_depth = std::max<std::uint64_t>(max_depth, tr->hop_depth(p, v));
+          }
+        }
+        JsonObject pl;
+        pl.set("type", "packet");
+        pl.set("index", static_cast<std::uint64_t>(p));
+        set_latency_stats(pl, h);
+        pl.set("undelivered", undelivered);
+        pl.set("max_depth", max_depth);
+        b.telemetry_lines.push_back(telemetry_line(std::move(pl)));
+      }
+      b.packets_tracked += cell.k;
+
+      // Channel-utilization aggregates, merged across trials in trial
+      // order (first-seen (stage, epoch) order of the earliest trial).
+      std::vector<obs::ChannelLedger::Aggregate> merged;
+      for (const auto& ob : observers) {
+        const obs::ChannelLedger* led = ob->ledger();
+        b.dropped_ledger_rows += led->dropped_rows();
+        for (const obs::ChannelLedger::Aggregate& a : led->aggregates()) {
+          const auto it =
+              std::find_if(merged.begin(), merged.end(),
+                           [&a](const obs::ChannelLedger::Aggregate& m) {
+                             return m.stage == a.stage && m.epoch == a.epoch;
+                           });
+          if (it == merged.end()) {
+            merged.push_back(a);
+            continue;
+          }
+          it->rounds += a.rounds;
+          it->awake += a.awake;
+          it->transmissions += a.transmissions;
+          it->deliveries += a.deliveries;
+          it->collisions += a.collisions;
+          it->deaf += a.deaf;
+          it->faults += a.faults;
+          it->silent += a.silent;
+        }
+      }
+      for (const obs::ChannelLedger::Aggregate& a : merged) {
+        JsonObject lg;
+        lg.set("type", "ledger");
+        lg.set("stage", a.stage);
+        lg.set("epoch", a.epoch);
+        lg.set("rounds", a.rounds);
+        lg.set("awake", a.awake);
+        lg.set("transmissions", a.transmissions);
+        lg.set("deliveries", a.deliveries);
+        lg.set("collisions", a.collisions);
+        lg.set("deaf", a.deaf);
+        lg.set("faults", a.faults);
+        lg.set("silent", a.silent);
+        b.telemetry_lines.push_back(telemetry_line(std::move(lg)));
+      }
+
+      // Per-round utilization timeline of trial 0 (one representative
+      // trial; the whole-grid totals are in the "ledger" lines above).
+      const obs::ChannelLedger* led0 = observers.front()->ledger();
+      for (const obs::ChannelLedger::Row& r : led0->rows()) {
+        JsonObject lr;
+        lr.set("type", "ledger_round");
+        lr.set("round", r.round);
+        lr.set("stage", led0->stage_names()[r.stage]);
+        lr.set("epoch", led0->epoch_names()[r.epoch]);
+        lr.set("awake", static_cast<std::uint64_t>(r.awake));
+        lr.set("transmissions", static_cast<std::uint64_t>(r.transmissions));
+        lr.set("deliveries", static_cast<std::uint64_t>(r.deliveries));
+        lr.set("collisions", static_cast<std::uint64_t>(r.collisions));
+        lr.set("deaf", static_cast<std::uint64_t>(r.deaf));
+        lr.set("faults", static_cast<std::uint64_t>(r.faults));
+        lr.set("silent", static_cast<std::uint64_t>(r.silent));
+        b.telemetry_lines.push_back(telemetry_line(std::move(lr)));
+      }
+
+      for (const auto& tr : tracers)
+        b.dropped_flight_events += tr->dropped_flight_events();
+      if (spec.telemetry.flight_paths) {
+        // Flight log of trial 0 (chronological first-hold records).
+        const obs::PacketTracer& tr0 = *tracers.front();
+        for (const obs::PacketTracer::FlightEvent& e : tr0.flight_events()) {
+          JsonObject fl;
+          fl.set("type", "flight");
+          fl.set("packet", static_cast<std::uint64_t>(e.packet));
+          fl.set("node", static_cast<std::uint64_t>(e.node));
+          fl.set("from", static_cast<std::uint64_t>(e.from));
+          fl.set("latency", e.latency);
+          fl.set("depth", static_cast<std::uint64_t>(e.depth));
+          fl.set("via", obs::PacketTracer::via_name(e.via));
+          b.telemetry_lines.push_back(telemetry_line(std::move(fl)));
+        }
+        if (b.flight_trace.empty()) {
+          std::ostringstream os;
+          obs::write_flight_chrome_trace(os, tr0);
+          b.flight_trace = os.str();
+        }
+      }
+    }
+
     JsonObject row;
     row.set("algo", cell.algo);
     row.set("placement", cell.placement);
@@ -325,6 +562,12 @@ void run_kbroadcast_cells(Builder& b, const graph::Graph& g,
     row.set("delivered",
             std::to_string(delivered) + "/" + std::to_string(spec.seeds));
     row.set("ok", delivered == spec.seeds);
+    if (telemetry) {
+      row.set("lat_p50", pipeline ? JsonValue(cell_latency.p50()) : JsonValue());
+      row.set("lat_p90", pipeline ? JsonValue(cell_latency.p90()) : JsonValue());
+      row.set("lat_p99", pipeline ? JsonValue(cell_latency.p99()) : JsonValue());
+      row.set("lat_max", pipeline ? JsonValue(cell_latency.max()) : JsonValue());
+    }
     b.rows.emplace_back(std::move(row));
 
     JsonObject mcell;

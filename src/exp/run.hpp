@@ -33,6 +33,19 @@ struct ScenarioOutcome {
   std::vector<std::string> audit_violations;
   /// True iff every trial in every cell delivered all packets.
   bool all_delivered = true;
+  /// Per-packet lifecycle telemetry (`radiocast-telemetry-v1` JSONL, one
+  /// JSON object per line; see docs/observability.md). Empty unless
+  /// spec.telemetry.enabled. Its digest is the manifest's
+  /// "telemetry_digest", so the document is byte-identical at any thread
+  /// count.
+  std::string telemetry;
+  /// Chrome trace_event export of the first pipeline cell's trial-0
+  /// flight log. Empty unless telemetry.flight_paths was enabled.
+  std::string flight_trace;
+  /// Engine trace events discarded across all trials (sum of
+  /// core::RunResult::dropped_trace_events; also in the manifest's
+  /// environment block). Nonzero means per-event artifacts are truncated.
+  std::uint64_t dropped_trace_events = 0;
 };
 
 /// Runs the (validated) scenario. Throws JsonError on spec inconsistencies

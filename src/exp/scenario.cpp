@@ -139,6 +139,22 @@ ReportSpec parse_report(const JsonValue& v, std::string_view ctx) {
   return r;
 }
 
+TelemetrySpec parse_telemetry(const JsonValue& v, std::string_view ctx) {
+  TelemetrySpec t;
+  if (v.is_bool()) {  // shorthand: "telemetry": true
+    t.enabled = v.as_bool(ctx);
+    return t;
+  }
+  const JsonObject& o = v.as_object(ctx);
+  reject_unknown_keys(o, ctx,
+                      {"enabled", "flight_paths", "ledger_rounds", "max_flight_events"});
+  opt_bool(o, ctx, "enabled", t.enabled);
+  opt_bool(o, ctx, "flight_paths", t.flight_paths);
+  opt_u64(o, ctx, "ledger_rounds", t.ledger_rounds);
+  opt_u64(o, ctx, "max_flight_events", t.max_flight_events);
+  return t;
+}
+
 DynamicSpec parse_dynamic(const JsonValue& v, std::string_view ctx) {
   const JsonObject& o = v.as_object(ctx);
   reject_unknown_keys(o, ctx, {"load", "batch_capacity", "arrival_epochs"});
@@ -179,7 +195,8 @@ ScenarioSpec parse_scenario(std::string_view json_text) {
       o, "scenario",
       {"id", "title", "claim", "mode", "topology", "knowledge", "placement",
        "payload_bytes", "algos", "k", "loss", "collision_detection", "seeds",
-       "seed_base", "max_rounds", "audit", "threads", "dynamic", "report"});
+       "seed_base", "max_rounds", "audit", "threads", "telemetry", "dynamic",
+       "report"});
 
   ScenarioSpec s;
   opt_string(o, "scenario", "id", s.id);
@@ -209,6 +226,8 @@ ScenarioSpec parse_scenario(std::string_view json_text) {
   opt_u64(o, "scenario", "max_rounds", s.max_rounds);
   opt_bool(o, "scenario", "audit", s.audit);
   opt_int(o, "scenario", "threads", s.threads);
+  if (const JsonValue* v = o.find("telemetry"))
+    s.telemetry = parse_telemetry(*v, "scenario.telemetry");
   if (const JsonValue* v = o.find("dynamic"))
     s.dynamic = parse_dynamic(*v, "scenario.dynamic");
   if (const JsonValue* v = o.find("report")) s.report = parse_report(*v, "scenario.report");
@@ -242,6 +261,12 @@ JsonValue scenario_to_json(const ScenarioSpec& s) {
   report.set("ratio", s.report.ratio);
   report.set("columns", axis_to_json(s.report.columns));
 
+  JsonObject telem;
+  telem.set("enabled", s.telemetry.enabled);
+  telem.set("flight_paths", s.telemetry.flight_paths);
+  telem.set("ledger_rounds", s.telemetry.ledger_rounds);
+  telem.set("max_flight_events", s.telemetry.max_flight_events);
+
   JsonObject o;
   o.set("id", s.id);
   o.set("title", s.title);
@@ -261,6 +286,7 @@ JsonValue scenario_to_json(const ScenarioSpec& s) {
   o.set("audit", s.audit);
   // "threads" is deliberately absent: it is an execution knob, not part of
   // the experiment's identity, so it must not perturb spec digests.
+  o.set("telemetry", JsonValue(std::move(telem)));
   o.set("dynamic", JsonValue(std::move(dyn)));
   o.set("report", JsonValue(std::move(report)));
   return JsonValue(std::move(o));
@@ -304,6 +330,13 @@ void validate_scenario(const ScenarioSpec& s) {
 
   if (s.seeds < 1) fail("seeds must be >= 1");
   if (s.threads < 0) fail("threads must be >= 0");
+
+  if (s.telemetry.enabled) {
+    if (s.telemetry.ledger_rounds == 0) fail("telemetry.ledger_rounds must be >= 1");
+    if (s.telemetry.max_flight_events == 0)
+      fail("telemetry.max_flight_events must be >= 1");
+    if (s.mode != "kbroadcast") fail("telemetry requires mode \"kbroadcast\"");
+  }
 
   if (s.mode == "kbroadcast") {
     if (s.algos.empty()) fail("algos must not be empty");

@@ -61,6 +61,26 @@ struct ReportSpec {
   std::vector<std::string> columns;
 };
 
+/// Per-packet lifecycle telemetry (obs/packet_trace.hpp): when enabled,
+/// every pipeline-algorithm trial gets a PacketTracer and a channel-
+/// utilization ledger, and the run emits a `radiocast-telemetry-v1` JSONL
+/// artifact (digested into the manifest). Tracing is read-only — traced
+/// results are byte-identical to untraced ones — so this block, like
+/// `threads`, never perturbs the outcome, but unlike `threads` it *is*
+/// part of the spec identity because it changes the artifact set.
+struct TelemetrySpec {
+  bool enabled = false;
+  /// Record the per-packet flight log (event-ordered reception edges);
+  /// adds the `flight` line type and the Chrome-trace export.
+  bool flight_paths = false;
+  /// Per-trial cap on retained ledger rows (aggregates are exact beyond
+  /// the cap; per-round rows past it are dropped and counted).
+  std::uint64_t ledger_rounds = 4096;
+  /// Per-trial cap on retained flight events (dropped-event count is
+  /// reported when exceeded).
+  std::uint64_t max_flight_events = 1u << 20;
+};
+
 /// Dynamic-arrival scenarios (mode == "dynamic"): the open-problem
 /// extension of core/dynamic.hpp, swept over offered load.
 struct DynamicSpec {
@@ -103,6 +123,7 @@ struct ScenarioSpec {
   bool audit = false;  ///< attach a ModelAuditor to every trial
   int threads = 0;     ///< 0 = RADIOCAST_BENCH_THREADS / hardware
 
+  TelemetrySpec telemetry;
   DynamicSpec dynamic;
   ReportSpec report;
 };

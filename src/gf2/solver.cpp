@@ -1,5 +1,6 @@
 #include "gf2/solver.hpp"
 
+#include <bit>
 #include <cstring>
 #include <utility>
 
@@ -84,6 +85,27 @@ const Payload& IncrementalDecoder::packet(std::size_t index) {
 const std::vector<Payload>& IncrementalDecoder::packets() {
   if (!solved_) back_substitute();
   return decoded_;
+}
+
+MaskRank::MaskRank(std::size_t width) : width_(width) {
+  RC_ASSERT(width >= 1 && width <= 64);
+}
+
+bool MaskRank::add(std::uint64_t coeffs) {
+  RC_ASSERT(width_ == 64 || (coeffs >> width_) == 0);
+  // Same elimination order as IncrementalDecoder::add_row: reduce against
+  // the basis row pivoted on the mask's lowest set bit until the mask is
+  // empty (redundant) or lands on a free pivot (innovative).
+  while (coeffs != 0) {
+    const auto pivot = static_cast<std::size_t>(std::countr_zero(coeffs));
+    if (basis_[pivot] == 0) {
+      basis_[pivot] = coeffs;
+      ++rank_;
+      return true;
+    }
+    coeffs ^= basis_[pivot];
+  }
+  return false;
 }
 
 }  // namespace radiocast::gf2

@@ -13,6 +13,7 @@
 // field addition the paper uses (packets as elements of GF(2^b)).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -80,6 +81,33 @@ class IncrementalDecoder {
   std::vector<CodedRow> basis_;
   std::vector<bool> has_pivot_;
   std::vector<Payload> decoded_;
+};
+
+/// Payload-free rank tracker over GF(2) for groups of <= 64 packets,
+/// with coefficient vectors packed into one uint64 (exactly the CodedMsg
+/// wire format). Performs the same lowest-set-bit pivot elimination as
+/// IncrementalDecoder, so fed with the same row stream it reaches
+/// `complete()` in the same step — this is the decode-event tap the
+/// telemetry layer (obs::PacketTracer) uses to timestamp rank-complete
+/// events without duplicating payload arithmetic.
+class MaskRank {
+ public:
+  /// Tracker for a group of `width` packets; 1 <= width <= 64.
+  explicit MaskRank(std::size_t width);
+
+  std::size_t width() const { return width_; }
+  std::size_t rank() const { return rank_; }
+  bool complete() const { return rank_ == width_; }
+
+  /// Reduces one coefficient mask against the basis. Returns true iff the
+  /// row was innovative (increased the rank). Bits >= width must be 0.
+  bool add(std::uint64_t coeffs);
+
+ private:
+  std::size_t width_;
+  std::size_t rank_ = 0;
+  /// basis_[c] is the reduced row whose lowest set bit is c (0 = empty).
+  std::array<std::uint64_t, 64> basis_{};
 };
 
 }  // namespace radiocast::gf2

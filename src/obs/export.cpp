@@ -2,6 +2,7 @@
 
 #include "obs/json.hpp"
 #include "obs/observer.hpp"
+#include "obs/packet_trace.hpp"
 
 namespace radiocast::obs {
 
@@ -114,6 +115,56 @@ void write_chrome_trace(std::ostream& out, const std::vector<Span>& spans) {
     // trace_event puts per-event payload under "args".
     write_attrs(w, "args", s.attrs);
     w.end_object();
+  }
+  w.end_array().kv("displayTimeUnit", "ms").end_object();
+  out << '\n';
+}
+
+void write_flight_chrome_trace(std::ostream& out, const PacketTracer& tracer) {
+  JsonWriter w(out);
+  w.begin_object().key("traceEvents").begin_array();
+  w.begin_object()
+      .kv("name", "process_name")
+      .kv("ph", "M")
+      .kv("pid", std::uint64_t{1})
+      .key("args")
+      .begin_object()
+      .kv("name", "radiocast packet flights")
+      .end_object()
+      .end_object();
+  // One thread track per packet that actually flew; named lazily at its
+  // first event so an untouched packet leaves no empty track behind.
+  std::vector<bool> named(tracer.num_packets(), false);
+  for (const PacketTracer::FlightEvent& e : tracer.flight_events()) {
+    const std::uint64_t tid = static_cast<std::uint64_t>(e.packet) + 1;
+    if (!named[e.packet]) {
+      named[e.packet] = true;
+      w.begin_object()
+          .kv("name", "thread_name")
+          .kv("ph", "M")
+          .kv("pid", std::uint64_t{1})
+          .kv("tid", tid)
+          .key("args")
+          .begin_object()
+          .kv("name", "packet " + std::to_string(e.packet))
+          .end_object()
+          .end_object();
+    }
+    w.begin_object()
+        .kv("name", PacketTracer::via_name(e.via))
+        .kv("cat", "flight")
+        .kv("ph", "i")
+        .kv("s", "t")
+        .kv("ts", e.latency)
+        .kv("pid", std::uint64_t{1})
+        .kv("tid", tid)
+        .key("args")
+        .begin_object()
+        .kv("node", e.node)
+        .kv("from", e.from)
+        .kv("depth", static_cast<std::uint64_t>(e.depth))
+        .end_object()
+        .end_object();
   }
   w.end_array().kv("displayTimeUnit", "ms").end_object();
   out << '\n';

@@ -12,6 +12,7 @@
 
 namespace radiocast::obs {
 
+class PacketTracer;
 class RunObserver;
 
 /// JSONL: one `{"type":"span",...}` line per span (in snapshot order) and
@@ -30,5 +31,12 @@ void write_run_jsonl(std::ostream& out, const RunObserver& observer,
 /// span attributes land in "args". One metadata event names the process
 /// "radiocast". The file opens directly in chrome://tracing and Perfetto.
 void write_chrome_trace(std::ostream& out, const std::vector<Span>& spans);
+
+/// Chrome trace_event export of one PacketTracer's flight log: every
+/// first-hold record becomes an instant event ("ph":"i") at its latency
+/// round on a per-packet thread track (tid = packet index + 1), with the
+/// receiving node, delivering neighbor, hop depth and mechanism in "args".
+/// Empty flight log (flight paths disabled) yields a valid empty trace.
+void write_flight_chrome_trace(std::ostream& out, const PacketTracer& tracer);
 
 }  // namespace radiocast::obs

@@ -1,0 +1,78 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace radiocast::obs {
+
+std::size_t LogHistogram::bucket_index(std::uint64_t value) {
+  if (value == 0) return 0;
+  return static_cast<std::size_t>(64 - std::countl_zero(value));
+}
+
+std::uint64_t LogHistogram::bucket_upper(std::size_t bucket) {
+  RC_ASSERT(bucket < kNumBuckets);
+  if (bucket == 0) return 0;
+  if (bucket == 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+std::uint64_t LogHistogram::bucket_lower(std::size_t bucket) {
+  RC_ASSERT(bucket < kNumBuckets);
+  if (bucket == 0) return 0;
+  return std::uint64_t{1} << (bucket - 1);
+}
+
+void LogHistogram::add(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  buckets_[bucket_index(value)] += count;
+  count_ += count;
+  sum_ += value * count;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest rank, 1-based: the smallest rank whose cumulative count covers
+  // a q fraction of the samples. Integer thereafter — no float ties.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    cum += buckets_[b];
+    if (cum >= rank) return std::clamp(bucket_upper(b), min_, max_);
+  }
+  return max_;
+}
+
+}  // namespace radiocast::obs

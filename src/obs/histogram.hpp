@@ -1,0 +1,68 @@
+// Fixed-bucket log-scale histogram for cross-trial telemetry aggregation.
+//
+// The per-packet latency distributions the telemetry layer reports are
+// reduced over a Monte Carlo seed grid, so the accumulator must merge
+// deterministically: two LogHistograms merge by bucket-wise integer
+// addition (commutative and associative), and every summary statistic is
+// integer arithmetic over the bucket counts — no floating-point order
+// sensitivity anywhere. That is what lets exp/run reduce telemetry in
+// trial order and emit byte-identical documents at any thread count.
+//
+// Bucket layout (fixed, see docs/observability.md):
+//   bucket 0        <- value 0
+//   bucket i >= 1   <- values in [2^(i-1), 2^i - 1]
+// i.e. bucket(v) = 1 + floor(log2 v) for v >= 1, giving 65 buckets that
+// cover the whole uint64 range with factor-2 resolution. Exact min / max /
+// sum / count ride alongside, so quantiles can clamp to the observed range.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace radiocast::obs {
+
+class LogHistogram {
+ public:
+  /// Bucket 0 plus one bucket per possible floor(log2) of a uint64.
+  static constexpr std::size_t kNumBuckets = 65;
+
+  /// Bucket index of `value` (see the layout in the file comment).
+  static std::size_t bucket_index(std::uint64_t value);
+  /// Largest value a bucket covers (0 for bucket 0, 2^i - 1 otherwise).
+  static std::uint64_t bucket_upper(std::size_t bucket);
+  /// Smallest value a bucket covers (0 for bucket 0, 2^(i-1) otherwise).
+  static std::uint64_t bucket_lower(std::size_t bucket);
+
+  void add(std::uint64_t value, std::uint64_t count = 1);
+  /// Bucket-wise sum; exact min/max/sum/count combine alongside.
+  void merge(const LogHistogram& other);
+
+  bool empty() const { return count_ == 0; }
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  /// Exact extremes of the added values (0 on an empty histogram).
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const;
+
+  /// Nearest-rank quantile, resolved to the containing bucket's upper
+  /// edge and clamped to [min, max]: an upper bound on the true order
+  /// statistic within a factor of 2 (exact for values 0 and 1, and for
+  /// q = 1, which always returns max()). q in [0, 1]; 0 on empty.
+  std::uint64_t quantile(double q) const;
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p90() const { return quantile(0.90); }
+  std::uint64_t p99() const { return quantile(0.99); }
+
+  const std::array<std::uint64_t, kNumBuckets>& buckets() const { return buckets_; }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace radiocast::obs

@@ -6,8 +6,76 @@
 
 namespace radiocast::obs {
 
+std::uint32_t ChannelLedger::silent_slots(const RoundStats& stats) {
+  // Awake listeners minus the listener slots with a known outcome; see
+  // the class comment for why this is a (clamped) lower bound. Wake-up
+  // deliveries landed at nodes that were *asleep*, so they don't consume
+  // listener slots — but the wakeups counter can exceed deliveries (the
+  // first round folds the initial wake_at_start wakes in; CD collision
+  // wakes have no delivery at all), so the correction is clamped.
+  const std::int64_t listeners =
+      static_cast<std::int64_t>(stats.awake) - stats.transmissions;
+  const std::int64_t awake_deliveries = std::max<std::int64_t>(
+      0, static_cast<std::int64_t>(stats.deliveries) - stats.wakeups);
+  const std::int64_t silent = listeners - awake_deliveries -
+                              stats.collision_slots - stats.fault_drops;
+  return silent > 0 ? static_cast<std::uint32_t>(silent) : 0;
+}
+
+std::uint32_t ChannelLedger::intern(std::vector<std::string>& names,
+                                    const std::string& name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  names.push_back(name);
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+
+void ChannelLedger::on_round(const RoundStats& stats, const std::string& stage,
+                             const std::string& epoch) {
+  const std::uint32_t silent = silent_slots(stats);
+  const std::uint32_t stage_id = intern(stage_names_, stage);
+  const std::uint32_t epoch_id = intern(epoch_names_, epoch);
+  if (rows_.size() < max_rounds_) {
+    rows_.push_back({stats.round, stage_id, epoch_id, stats.awake,
+                     stats.transmissions, stats.deliveries, stats.collision_slots,
+                     stats.deaf_slots, stats.fault_drops, silent});
+  } else {
+    ++dropped_rows_;
+  }
+
+  if (last_aggregate_ >= aggregates_.size() ||
+      aggregates_[last_aggregate_].stage != stage ||
+      aggregates_[last_aggregate_].epoch != epoch) {
+    last_aggregate_ = SIZE_MAX;
+    for (std::size_t i = 0; i < aggregates_.size(); ++i) {
+      if (aggregates_[i].stage == stage && aggregates_[i].epoch == epoch) {
+        last_aggregate_ = i;
+        break;
+      }
+    }
+    if (last_aggregate_ == SIZE_MAX) {
+      aggregates_.push_back({stage, epoch, 0, 0, 0, 0, 0, 0, 0, 0});
+      last_aggregate_ = aggregates_.size() - 1;
+    }
+  }
+  Aggregate& agg = aggregates_[last_aggregate_];
+  ++agg.rounds;
+  agg.awake += stats.awake;
+  agg.transmissions += stats.transmissions;
+  agg.deliveries += stats.deliveries;
+  agg.collisions += stats.collision_slots;
+  agg.deaf += stats.deaf_slots;
+  agg.faults += stats.fault_drops;
+  agg.silent += silent;
+}
+
 RunObserver::RunObserver(Options opts)
-    : opts_(std::move(opts)), recorder_(opts_.recorder) {}
+    : opts_(std::move(opts)), recorder_(opts_.recorder) {
+  if (opts_.channel_ledger) {
+    ledger_ = std::make_unique<ChannelLedger>(opts_.ledger_max_rounds);
+  }
+}
 
 void RunObserver::rebind_stage_instruments() {
   const LabelSet stage_label = {{"stage", stage_name_}};
@@ -70,6 +138,7 @@ void RunObserver::on_round(const RoundStats& stats) {
       }
     }
   }
+  if (ledger_) ledger_->on_round(stats, stage_name_, epoch_name_);
 }
 
 void RunObserver::close_epoch(std::uint64_t round) {
@@ -77,6 +146,7 @@ void RunObserver::close_epoch(std::uint64_t round) {
     recorder_.close(epoch_span_, round);
     epoch_span_ = 0;
   }
+  epoch_name_.clear();
 }
 
 void RunObserver::close_phase(std::uint64_t round) {
@@ -120,6 +190,7 @@ void RunObserver::on_collection_epoch(const char* kind, std::uint64_t slots,
   if (slots != 0) attrs.push_back({"slots", slots});
   if (copies > 1) attrs.push_back({"copies", copies});
   epoch_span_ = recorder_.open(kind, "epoch", round, std::move(attrs));
+  epoch_name_ = kind;
   metrics_.counter("collection.epochs", {{"epoch", kind}}).inc();
 }
 

@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,8 @@ namespace radiocast::obs {
 /// by the caller — valid only for the duration of on_round().
 struct RoundStats {
   std::uint64_t round = 0;
+  /// Nodes awake when the round's transmission decisions were made.
+  std::uint32_t awake = 0;
   std::uint32_t transmissions = 0;
   std::uint32_t deliveries = 0;
   std::uint32_t collision_slots = 0;
@@ -46,6 +49,78 @@ struct RoundStats {
   const char* const* kind_names = nullptr;
   const std::uint32_t* transmissions_by_kind = nullptr;
   const std::uint32_t* deliveries_by_kind = nullptr;
+};
+
+/// Channel-utilization ledger: how every round's slot budget was spent,
+/// attributed to the protocol stage (and collection epoch) open when the
+/// round ran. Fed by RunObserver::on_round when enabled.
+///
+/// Slot taxonomy per round (counts straight from RoundStats):
+///   transmissions | deliveries (single-transmit successes) | collisions |
+///   deaf (half-duplex losses at transmitters) | faults (erased
+///   successes) | silent — awake listeners that heard nothing, derived as
+///   (awake - transmissions) - ((deliveries - wakeups) + collisions +
+///   faults) clamped at zero. The derivation is a lower bound: collision
+///   and fault slots at still-sleeping nodes are indistinguishable from
+///   awake-listener ones in the per-round deltas, and under the CD
+///   ablation wake-ups can stem from collisions. Per-round rows are kept
+///   up to `max_rounds` (drops counted, never silent); per-(stage, epoch)
+///   aggregates always cover the whole run.
+class ChannelLedger {
+ public:
+  struct Row {
+    std::uint64_t round = 0;
+    std::uint32_t stage = 0;  ///< index into stage_names()
+    std::uint32_t epoch = 0;  ///< index into epoch_names(); 0 = none
+    std::uint32_t awake = 0;
+    std::uint32_t transmissions = 0;
+    std::uint32_t deliveries = 0;
+    std::uint32_t collisions = 0;
+    std::uint32_t deaf = 0;
+    std::uint32_t faults = 0;
+    std::uint32_t silent = 0;
+  };
+  /// Whole-run totals for one (stage, epoch-kind) slice, in first-seen
+  /// (i.e. chronological) order.
+  struct Aggregate {
+    std::string stage;
+    std::string epoch;  ///< "" outside collection epochs
+    std::uint64_t rounds = 0;
+    std::uint64_t awake = 0;  ///< sum of per-round awake counts
+    std::uint64_t transmissions = 0;
+    std::uint64_t deliveries = 0;
+    std::uint64_t collisions = 0;
+    std::uint64_t deaf = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t silent = 0;
+  };
+
+  explicit ChannelLedger(std::size_t max_rounds) : max_rounds_(max_rounds) {}
+
+  /// The derived silent-slot count (see the class comment).
+  static std::uint32_t silent_slots(const RoundStats& stats);
+
+  void on_round(const RoundStats& stats, const std::string& stage,
+                const std::string& epoch);
+
+  const std::vector<Row>& rows() const { return rows_; }
+  std::uint64_t dropped_rows() const { return dropped_rows_; }
+  const std::vector<std::string>& stage_names() const { return stage_names_; }
+  const std::vector<std::string>& epoch_names() const { return epoch_names_; }
+  const std::vector<Aggregate>& aggregates() const { return aggregates_; }
+
+ private:
+  std::uint32_t intern(std::vector<std::string>& names, const std::string& name);
+
+  std::size_t max_rounds_;
+  std::vector<Row> rows_;
+  std::uint64_t dropped_rows_ = 0;
+  std::vector<std::string> stage_names_;
+  std::vector<std::string> epoch_names_{""};  ///< index 0 = "no epoch"
+  std::vector<Aggregate> aggregates_;
+  /// Cache of the aggregate slot the last round landed in (rounds switch
+  /// stage/epoch rarely, so the linear re-scan is off the common path).
+  std::size_t last_aggregate_ = SIZE_MAX;
 };
 
 /// The flight recorder's sink: channel stats + protocol hooks in, span
@@ -59,6 +134,11 @@ class RunObserver {
     bool per_kind_metrics = true;
     /// Record per-round transmission/delivery histograms per stage.
     bool round_histograms = true;
+    /// Keep a per-round channel-utilization ledger (off by default: the
+    /// per-round rows are telemetry-sized, not metrics-sized).
+    bool channel_ledger = false;
+    /// Per-round row cap for the ledger (aggregates are never capped).
+    std::size_t ledger_max_rounds = 1u << 16;
   };
 
   RunObserver() : RunObserver(Options{}) {}
@@ -101,6 +181,9 @@ class RunObserver {
   /// Name of the stage currently open ("" before the first on_stage).
   const std::string& current_stage() const { return stage_name_; }
 
+  /// The channel-utilization ledger (nullptr unless Options enabled it).
+  const ChannelLedger* ledger() const { return ledger_.get(); }
+
  private:
   /// Re-resolves the cached per-stage instrument pointers (called on every
   /// stage transition; lookups are off the per-round hot path).
@@ -114,6 +197,8 @@ class RunObserver {
   SpanRecorder recorder_;
 
   std::string stage_name_;
+  std::string epoch_name_;  ///< open collection epoch ("" outside epochs)
+  std::unique_ptr<ChannelLedger> ledger_;
   std::uint64_t stage_span_ = 0;
   std::uint64_t phase_span_ = 0;
   std::uint64_t epoch_span_ = 0;

@@ -100,6 +100,7 @@ void Network::report_round(std::uint64_t round) {
   const TraceCounters& now = trace_.counters();
   obs::RoundStats stats;
   stats.round = round;
+  stats.awake = round_awake_base_;
   stats.transmissions =
       static_cast<std::uint32_t>(now.transmissions - round_base_.transmissions);
   stats.deliveries =
@@ -125,7 +126,12 @@ void Network::report_round(std::uint64_t round) {
 }
 
 void Network::step() {
-  if (observer_ != nullptr) round_base_ = trace_.counters();
+  if (observer_ != nullptr) {
+    round_base_ = trace_.counters();
+    // Initially-awake nodes are already in awake_list_ (wake_at_start),
+    // so this is the awake count Phase 1 will see even on round 0.
+    round_awake_base_ = static_cast<std::uint32_t>(awake_list_.size());
+  }
   if (!started_) {
     started_ = true;
     if (auditor_ != nullptr) auditor_->on_sim_start(pending_initial_wakes_);

@@ -200,6 +200,8 @@ class Network {
   /// Counter values at the start of the current round; the per-round
   /// deltas reported to the observer are computed against these.
   TraceCounters round_base_;
+  /// Awake-node count when the round's transmissions were decided.
+  std::uint32_t round_awake_base_ = 0;
   /// Scratch per-kind delta arrays pointed to by the RoundStats we pass
   /// to the observer (keeps on_round allocation-free).
   std::array<std::uint32_t, kNumMessageKinds> round_tx_by_kind_{};

@@ -69,6 +69,56 @@ TEST(RunningStats, MatchesBatchOnRandomData) {
   EXPECT_NEAR(s.variance(), var, 1e-6);
 }
 
+TEST(RunningStats, PercentileNearestRankSemantics) {
+  // Nearest-rank: rank = max(1, ceil(q * n)) over the sorted samples.
+  RunningStats s;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);   // rank clamps up to 1
+  EXPECT_DOUBLE_EQ(s.percentile(0.1), 10.0);   // ceil(0.5) = 1
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 30.0);   // ceil(2.5) = 3
+  EXPECT_DOUBLE_EQ(s.percentile(0.9), 50.0);   // ceil(4.5) = 5
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.median(), s.percentile(0.5));
+}
+
+TEST(RunningStats, MedianOfEvenCountPicksLowerMiddle) {
+  // Nearest-rank never interpolates: for n=4, rank ceil(2.0)=2.
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.75), 3.0);  // ceil(3.0) = 3
+}
+
+TEST(RunningStats, PercentileIgnoresInsertionOrder) {
+  RunningStats asc, desc;
+  for (int i = 1; i <= 9; ++i) asc.add(i);
+  for (int i = 9; i >= 1; --i) desc.add(i);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 1.0})
+    EXPECT_DOUBLE_EQ(asc.percentile(q), desc.percentile(q)) << q;
+}
+
+TEST(RunningStats, PercentileEmptyIsZero) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 0.0);
+  EXPECT_TRUE(s.percentile_exact());  // vacuously exact
+}
+
+TEST(RunningStats, PercentileExactWindowIs64Samples) {
+  RunningStats s;
+  for (std::size_t i = 0; i < RunningStats::kPercentileBuffer; ++i)
+    s.add(static_cast<double>(i));
+  EXPECT_TRUE(s.percentile_exact());
+  // Exact max while the buffer covers everything.
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 63.0);
+  s.add(1000.0);  // sample 65: the buffer stops growing
+  EXPECT_FALSE(s.percentile_exact());
+  // Percentiles now describe the first-64 prefix; the moments stay exact.
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 63.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1000.0);
+  EXPECT_EQ(s.count(), 65u);
+}
+
 TEST(SampleSet, QuantilesExact) {
   SampleSet s;
   for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);

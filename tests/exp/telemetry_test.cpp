@@ -1,0 +1,173 @@
+// Telemetry determinism at the scenario level: the radiocast-telemetry-v1
+// document and the flight trace must be byte-identical across thread
+// budgets (the cross-trial reduction runs in trial order), the manifest's
+// telemetry_digest must pin the document, and the per-cell latency columns
+// must appear exactly on pipeline cells.
+#include "exp/run.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/jsonval.hpp"
+#include "exp/manifest.hpp"
+#include "exp/scenario.hpp"
+
+namespace radiocast::exp {
+namespace {
+
+ScenarioSpec telemetry_spec() {
+  return parse_scenario(R"({
+    "id": "tiny_telemetry",
+    "topology": { "family": "geometric", "n": 16, "seed": 5, "radius": 0.5 },
+    "algos": ["coded", "uncoded", "seq_bgi"],
+    "k": [4],
+    "seeds": 2,
+    "seed_base": 42,
+    "telemetry": { "enabled": true, "flight_paths": true }
+  })");
+}
+
+std::vector<JsonValue> parse_lines(const std::string& jsonl) {
+  std::vector<JsonValue> out;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    if (end > start) out.push_back(json_parse(jsonl.substr(start, end - start)));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::size_t count_type(const std::vector<JsonValue>& lines, std::string_view t) {
+  std::size_t n = 0;
+  for (const JsonValue& l : lines)
+    if (l.as_object().find("type")->as_string() == t) ++n;
+  return n;
+}
+
+TEST(Telemetry, ThreadBudgetDoesNotPerturbTelemetry) {
+  ScenarioSpec spec = telemetry_spec();
+  spec.threads = 1;
+  const ScenarioOutcome seq = run_scenario(spec);
+  spec.threads = 4;
+  const ScenarioOutcome par = run_scenario(spec);
+
+  ASSERT_FALSE(seq.telemetry.empty());
+  EXPECT_EQ(seq.telemetry, par.telemetry);
+  ASSERT_FALSE(seq.flight_trace.empty());
+  EXPECT_EQ(seq.flight_trace, par.flight_trace);
+  EXPECT_EQ(json_serialize(seq.results), json_serialize(par.results));
+  EXPECT_EQ(seq.manifest.as_object().find("telemetry_digest")->as_string(),
+            par.manifest.as_object().find("telemetry_digest")->as_string());
+}
+
+TEST(Telemetry, DocumentShapeAndCellCoverage) {
+  const ScenarioOutcome out = run_scenario(telemetry_spec());
+  const auto lines = parse_lines(out.telemetry);
+  ASSERT_GE(lines.size(), 2u);
+
+  const JsonObject& header = lines.front().as_object();
+  EXPECT_EQ(header.find("type")->as_string(), "header");
+  EXPECT_EQ(header.find("format")->as_string(), "radiocast-telemetry-v1");
+  EXPECT_EQ(header.find("scenario")->as_string(), "tiny_telemetry");
+  EXPECT_EQ(header.find("trials")->as_uint(), 2u);
+  EXPECT_TRUE(header.find("flight_paths")->as_bool());
+
+  const JsonObject& summary = lines.back().as_object();
+  EXPECT_EQ(summary.find("type")->as_string(), "summary");
+
+  // Telemetry covers pipeline cells only: coded and uncoded, not seq_bgi.
+  EXPECT_EQ(count_type(lines, "cell"), 2u);
+  for (const JsonValue& l : lines) {
+    const JsonObject& o = l.as_object();
+    if (o.find("type")->as_string() != "cell") continue;
+    const std::string& algo = o.find("algo")->as_string();
+    EXPECT_TRUE(algo == "coded" || algo == "uncoded") << algo;
+  }
+  // One packet line per (cell, packet); k=4 for both cells.
+  EXPECT_EQ(count_type(lines, "packet"), 8u);
+  EXPECT_EQ(summary.find("packets")->as_uint(), 8u);
+  EXPECT_GE(count_type(lines, "flight"), 1u);
+  EXPECT_EQ(count_type(lines, "latency"), 2u);
+}
+
+TEST(Telemetry, ManifestDigestPinsTheDocument) {
+  const ScenarioOutcome out = run_scenario(telemetry_spec());
+  const std::string& digest =
+      out.manifest.as_object().find("telemetry_digest")->as_string();
+  EXPECT_EQ(digest, digest_string(out.telemetry));
+  EXPECT_EQ(digest.rfind("fnv1a64:", 0), 0u) << digest;
+}
+
+TEST(Telemetry, DisabledTelemetryEmitsNothing) {
+  ScenarioSpec spec = telemetry_spec();
+  spec.telemetry = TelemetrySpec{};
+  const ScenarioOutcome out = run_scenario(spec);
+  EXPECT_TRUE(out.telemetry.empty());
+  EXPECT_TRUE(out.flight_trace.empty());
+  // The manifest key is always present; empty string when disabled.
+  const JsonValue* digest = out.manifest.as_object().find("telemetry_digest");
+  ASSERT_NE(digest, nullptr);
+  EXPECT_EQ(digest->as_string(), "");
+}
+
+TEST(Telemetry, TracingDoesNotPerturbResults) {
+  // Tracing is read-only: a traced run's result rows must match an
+  // untraced run of the same spec on every shared column (the traced run
+  // additionally carries the lat_* columns; the spec itself is part of
+  // manifest identity, so the digests legitimately differ).
+  ScenarioSpec plain = telemetry_spec();
+  plain.telemetry = TelemetrySpec{};
+  const ScenarioOutcome a = run_scenario(telemetry_spec());
+  const ScenarioOutcome b = run_scenario(plain);
+
+  auto strip_latency = [](const JsonValue& rows) {
+    std::vector<JsonValue> out;
+    for (const JsonValue& row : rows.as_array()) {
+      JsonObject stripped;
+      for (const auto& [key, value] : row.as_object().members())
+        if (key.rfind("lat_", 0) != 0) stripped.set(key, value);
+      out.emplace_back(std::move(stripped));
+    }
+    return JsonValue(std::move(out));
+  };
+  EXPECT_EQ(json_serialize(strip_latency(*a.results.as_object().find("rows"))),
+            json_serialize(*b.results.as_object().find("rows")));
+}
+
+TEST(Telemetry, FlightPathsOffKeepsAggregatesDropsEvents) {
+  ScenarioSpec spec = telemetry_spec();
+  spec.telemetry.flight_paths = false;
+  const ScenarioOutcome out = run_scenario(spec);
+  ASSERT_FALSE(out.telemetry.empty());
+  EXPECT_TRUE(out.flight_trace.empty());
+  const auto lines = parse_lines(out.telemetry);
+  EXPECT_FALSE(lines.front().as_object().find("flight_paths")->as_bool());
+  EXPECT_EQ(count_type(lines, "flight"), 0u);
+  // Aggregate lines survive without the event log.
+  EXPECT_EQ(count_type(lines, "packet"), 8u);
+  EXPECT_EQ(count_type(lines, "latency"), 2u);
+}
+
+TEST(Telemetry, LatencyColumnsOnlyOnPipelineCells) {
+  const ScenarioOutcome out = run_scenario(telemetry_spec());
+  const auto& rows = out.results.as_object().find("rows")->as_array();
+  ASSERT_EQ(rows.size(), 3u);  // coded, uncoded, seq_bgi x k=4
+  for (const JsonValue& row : rows) {
+    const JsonObject& o = row.as_object();
+    const std::string& algo = o.find("algo")->as_string();
+    const bool pipeline = algo == "coded" || algo == "uncoded";
+    for (const char* col : {"lat_p50", "lat_p90", "lat_p99", "lat_max"}) {
+      const JsonValue* v = o.find(col);
+      ASSERT_NE(v, nullptr) << col;
+      EXPECT_EQ(v->is_null(), !pipeline) << algo << "." << col;
+      if (pipeline) EXPECT_GE(v->as_uint(), 1u) << algo << "." << col;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::exp

@@ -1,0 +1,153 @@
+// LogHistogram: bucket layout, exact side-statistics, nearest-rank
+// quantiles, and the deterministic-merge property the telemetry layer's
+// thread-invariance rests on (merge is bucket-wise integer addition, so
+// any merge order yields the same accumulator).
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace radiocast::obs {
+namespace {
+
+TEST(LogHistogram, BucketLayout) {
+  // bucket 0 <- 0; bucket i >= 1 <- [2^(i-1), 2^i - 1].
+  EXPECT_EQ(LogHistogram::bucket_index(0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_index(1), 1u);
+  EXPECT_EQ(LogHistogram::bucket_index(2), 2u);
+  EXPECT_EQ(LogHistogram::bucket_index(3), 2u);
+  EXPECT_EQ(LogHistogram::bucket_index(4), 3u);
+  EXPECT_EQ(LogHistogram::bucket_index(7), 3u);
+  EXPECT_EQ(LogHistogram::bucket_index(8), 4u);
+  EXPECT_EQ(LogHistogram::bucket_index(UINT64_MAX), 64u);
+  for (std::size_t b = 0; b < LogHistogram::kNumBuckets; ++b) {
+    // Every bucket's own bounds map back into the bucket.
+    EXPECT_EQ(LogHistogram::bucket_index(LogHistogram::bucket_lower(b)), b);
+    EXPECT_EQ(LogHistogram::bucket_index(LogHistogram::bucket_upper(b)), b);
+  }
+  EXPECT_EQ(LogHistogram::bucket_lower(0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_upper(0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_lower(4), 8u);
+  EXPECT_EQ(LogHistogram::bucket_upper(4), 15u);
+}
+
+TEST(LogHistogram, EmptyIsAllZero) {
+  LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(LogHistogram, ExactSideStatistics) {
+  LogHistogram h;
+  for (std::uint64_t v : {0u, 1u, 5u, 5u, 100u}) h.add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 111u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 111.0 / 5.0);
+}
+
+TEST(LogHistogram, WeightedAdd) {
+  LogHistogram h;
+  h.add(4, 3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 12u);
+  EXPECT_EQ(h.buckets()[LogHistogram::bucket_index(4)], 3u);
+}
+
+TEST(LogHistogram, QuantileResolvesToBucketUpperClamped) {
+  LogHistogram h;
+  // 10 values in bucket 3 ([4,7]): nearest-rank lands in that bucket, and
+  // the reported value is the bucket's upper edge clamped to max().
+  for (int i = 0; i < 10; ++i) h.add(5);
+  EXPECT_EQ(h.p50(), 5u);  // upper edge 7 clamps to observed max 5
+  h.add(100);              // one outlier in bucket 7 ([64,127])
+  EXPECT_EQ(h.quantile(1.0), 100u);
+  // max() is now 100, so the p50 bucket's upper edge (7) is unclamped.
+  EXPECT_EQ(h.p50(), 7u);
+  // p99 of 11 values: rank 11 -> the outlier's bucket, clamped to 100.
+  EXPECT_EQ(h.p99(), 100u);
+  // Values 0 and 1 have width-1 buckets, so their quantiles are exact.
+  LogHistogram z;
+  z.add(0, 7);
+  z.add(1, 3);
+  EXPECT_EQ(z.p50(), 0u);
+  EXPECT_EQ(z.p99(), 1u);
+}
+
+TEST(LogHistogram, QuantileIsWithinFactorTwoUpperBound) {
+  Rng rng(123);
+  LogHistogram h;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next_below(100000);
+    values.push_back(v);
+    h.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const std::uint64_t exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const std::uint64_t approx = h.quantile(q);
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(approx, exact * 2 + 1) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, MergeIsOrderInvariant) {
+  Rng rng(9);
+  LogHistogram parts[4];
+  for (int i = 0; i < 400; ++i) parts[rng.next_below(4)].add(rng.next_below(1 << 20));
+
+  LogHistogram forward;
+  for (const LogHistogram& p : parts) forward.merge(p);
+  LogHistogram backward;
+  for (int i = 3; i >= 0; --i) backward.merge(parts[i]);
+
+  EXPECT_EQ(forward.count(), backward.count());
+  EXPECT_EQ(forward.sum(), backward.sum());
+  EXPECT_EQ(forward.min(), backward.min());
+  EXPECT_EQ(forward.max(), backward.max());
+  EXPECT_EQ(forward.buckets(), backward.buckets());
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_EQ(forward.quantile(q), backward.quantile(q));
+}
+
+TEST(LogHistogram, MergeMatchesPooledAdds) {
+  Rng rng(42);
+  LogHistogram pooled, a, b;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng.next_below(1000);
+    pooled.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.buckets(), pooled.buckets());
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_EQ(a.sum(), pooled.sum());
+  EXPECT_EQ(a.min(), pooled.min());
+  EXPECT_EQ(a.max(), pooled.max());
+}
+
+TEST(LogHistogram, MergeWithEmptyIsIdentity) {
+  LogHistogram h, empty;
+  h.add(17);
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 17u);
+  EXPECT_EQ(h.max(), 17u);
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 17u);
+}
+
+}  // namespace
+}  // namespace radiocast::obs

@@ -173,5 +173,111 @@ TEST(ObserverEndToEnd, AttachingObserverDoesNotPerturbTheRun) {
   EXPECT_FALSE(observed.metrics.empty());
 }
 
+TEST(ChannelLedger, SilentSlotsArithmetic) {
+  obs::RoundStats s;
+  s.awake = 10;
+  s.transmissions = 2;
+  s.deliveries = 3;
+  s.collision_slots = 1;
+  s.fault_drops = 1;
+  // (10 - 2) listeners, minus 3 awake deliveries, 1 collision, 1 fault.
+  EXPECT_EQ(obs::ChannelLedger::silent_slots(s), 3u);
+
+  // Wake-up deliveries landed at sleeping nodes: they don't consume
+  // listener slots, and wakeups exceeding deliveries clamp to zero
+  // (initial wakes, CD collision wakes) rather than inflating silence.
+  s.wakeups = 5;
+  EXPECT_EQ(obs::ChannelLedger::silent_slots(s), 6u);  // 8 - 0 - 1 - 1
+  s.wakeups = 2;
+  EXPECT_EQ(obs::ChannelLedger::silent_slots(s), 5u);  // 8 - 1 - 1 - 1
+
+  // The overall result clamps at zero as well.
+  obs::RoundStats t;
+  t.awake = 2;
+  t.deliveries = 5;
+  EXPECT_EQ(obs::ChannelLedger::silent_slots(t), 0u);
+  obs::RoundStats all_tx;
+  all_tx.awake = 4;
+  all_tx.transmissions = 4;
+  EXPECT_EQ(obs::ChannelLedger::silent_slots(all_tx), 0u);
+}
+
+TEST(ChannelLedger, RowsInternNamesAndAggregatesAccumulate) {
+  obs::ChannelLedger ledger(/*max_rounds=*/100);
+  obs::RoundStats s;
+  s.awake = 8;
+  s.transmissions = 1;
+  s.deliveries = 2;
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    s.round = r;
+    ledger.on_round(s, "stage3.collection", r < 2 ? "ospg" : "mspg");
+  }
+  s.round = 3;
+  ledger.on_round(s, "stage4.dissemination", "");
+
+  ASSERT_EQ(ledger.rows().size(), 4u);
+  EXPECT_EQ(ledger.dropped_rows(), 0u);
+  // Epoch index 0 is the reserved "no epoch" name.
+  EXPECT_EQ(ledger.epoch_names().front(), "");
+  const auto& rows = ledger.rows();
+  EXPECT_EQ(ledger.stage_names()[rows[0].stage], "stage3.collection");
+  EXPECT_EQ(ledger.epoch_names()[rows[0].epoch], "ospg");
+  EXPECT_EQ(rows[0].epoch, rows[1].epoch);
+  EXPECT_NE(rows[1].epoch, rows[2].epoch);
+  EXPECT_EQ(rows[3].epoch, 0u);
+  EXPECT_EQ(rows[0].silent, 5u);  // (8-1) - 2
+
+  // Aggregates: one per (stage, epoch) slice, chronological, summed.
+  const auto& aggs = ledger.aggregates();
+  ASSERT_EQ(aggs.size(), 3u);
+  EXPECT_EQ(aggs[0].stage, "stage3.collection");
+  EXPECT_EQ(aggs[0].epoch, "ospg");
+  EXPECT_EQ(aggs[0].rounds, 2u);
+  EXPECT_EQ(aggs[0].awake, 16u);
+  EXPECT_EQ(aggs[0].deliveries, 4u);
+  EXPECT_EQ(aggs[0].silent, 10u);
+  EXPECT_EQ(aggs[1].epoch, "mspg");
+  EXPECT_EQ(aggs[1].rounds, 1u);
+  EXPECT_EQ(aggs[2].stage, "stage4.dissemination");
+  EXPECT_EQ(aggs[2].epoch, "");
+}
+
+TEST(ChannelLedger, RowCapCountsDropsButAggregatesCoverTheRun) {
+  obs::ChannelLedger ledger(/*max_rounds=*/2);
+  obs::RoundStats s;
+  s.awake = 4;
+  for (std::uint64_t r = 0; r < 5; ++r) {
+    s.round = r;
+    ledger.on_round(s, "stage1.leader", "");
+  }
+  EXPECT_EQ(ledger.rows().size(), 2u);
+  EXPECT_EQ(ledger.dropped_rows(), 3u);
+  ASSERT_EQ(ledger.aggregates().size(), 1u);
+  EXPECT_EQ(ledger.aggregates()[0].rounds, 5u);  // never capped
+  EXPECT_EQ(ledger.aggregates()[0].awake, 20u);
+}
+
+TEST(ChannelLedger, ObserverBuildsLedgerOnlyWhenEnabled) {
+  obs::RunObserver off;
+  const ObservedRun plain = run_observed(24, 8, 91, off);
+  EXPECT_EQ(off.ledger(), nullptr);
+
+  obs::RunObserver::Options opts;
+  opts.channel_ledger = true;
+  obs::RunObserver on(opts);
+  const ObservedRun run = run_observed(24, 8, 91, on);
+  ASSERT_NE(on.ledger(), nullptr);
+  const obs::ChannelLedger& ledger = *on.ledger();
+  // One row per simulated round, each attributed to a known stage.
+  EXPECT_EQ(ledger.rows().size(), run.result.total_rounds);
+  EXPECT_EQ(ledger.dropped_rows(), 0u);
+  std::uint64_t agg_rounds = 0;
+  for (const auto& a : ledger.aggregates()) agg_rounds += a.rounds;
+  EXPECT_EQ(agg_rounds, run.result.total_rounds);
+  // The ledger is an observer-side artifact: results are unperturbed.
+  EXPECT_EQ(plain.result.total_rounds, run.result.total_rounds);
+  EXPECT_EQ(plain.result.counters.deliveries, run.result.counters.deliveries);
+}
+
 }  // namespace
 }  // namespace radiocast
