@@ -1,23 +1,32 @@
 // Engine microbenchmark: isolates radio::Network::step from all protocol
-// logic (ISSUE 4 satellite).
+// logic (ISSUE 4 satellite; ISSUE 7 added the engine axis).
 //
-// Every node runs a ScheduledNode whose transmission decisions come from a
-// fixed per-node 64-bit pattern — no RNG draws, no protocol state, no
-// decoding — so the measured cost is the engine itself: the Phase-1 awake
-// scan, the Phase-2 neighbor walk over the topology, and the Phase-3
-// delivery loop, plus the per-transmission payload traffic. Two workloads
-// bracket the engine's regimes:
+// Every node runs a fixed per-node 64-bit transmission schedule — no RNG
+// draws, no protocol state, no decoding — so the measured cost is the
+// engine itself. Each workload runs once per selected engine mode
+// (--engine scalar|bitset|both, default both) and every row carries an
+// `engine` column; the deterministic counter columns must agree between
+// the two engines row for row (same model, same schedule), which the
+// pinned baseline enforces.
 //
-//   dense   p=1/4 transmit probability: heavy collisions, touched ~ n
-//   sparse  p=1/64: few transmissions, touched << n
+// Workload families:
+//
+//   dense / sparse      generic PlainPacketMsg protocols on a gnp graph
+//                       (p=1/4 resp. 1/64 transmit probability) — the
+//                       virtual on_transmit path in both engines.
+//   alarm               one-bit AlarmMsg schedule on the same graph, with
+//                       a PackedTransmitSource registered so the bitset
+//                       engine takes its bulk Phase-1 path.
+//   alarm_dense_100k    full mode only: n=10^5, degree~16 locality-window
+//                       graph — the ISSUE 7 5x acceptance row.
+//   alarm_sparse_1m     full mode only: n=10^6 sparse window graph — the
+//                       million-node completion row.
 //
 // Each row reports rounds/sec (best of `reps` timed repetitions, measured
 // on the process CPU clock so shared/noisy-neighbor machines don't skew
 // the number — the bench is single-threaded, so CPU time is honest
 // throughput) and an analytic bytes-touched-per-round estimate derived
-// from the run's exact counters (see touched_bytes_model below), so
-// memory-layout changes to the engine have a dedicated signal instead of
-// riding end-to-end benches.
+// from the run's exact counters (see touched_bytes_model below).
 //
 // `--smoke` shrinks the grid for CI; rows land in BENCH_engine_step.json
 // when RADIOCAST_BENCH_JSON_DIR is set. All counter columns are
@@ -73,12 +82,65 @@ class ScheduledNode final : public radio::NodeProtocol {
     ++receptions_;
   }
 
-  std::uint64_t receptions() const { return receptions_; }
-
  private:
   std::uint64_t pattern_ = 0;
   radio::Packet packet_;
   std::uint64_t receptions_ = 0;
+};
+
+/// One-bit variant of ScheduledNode: same schedule semantics, AlarmMsg on
+/// the air. This is the scalar-side twin of ScheduledAlarmSource — the two
+/// must agree bit for bit so scalar and bitset rows stay comparable.
+class ScheduledAlarmNode final : public radio::NodeProtocol {
+ public:
+  explicit ScheduledAlarmNode(std::uint64_t pattern) : pattern_(pattern) {}
+
+  std::optional<radio::MessageBody> on_transmit(radio::Round round) override {
+    if (((pattern_ >> (round & 63)) & 1) == 0) return std::nullopt;
+    return radio::AlarmMsg{};
+  }
+
+  void on_receive(radio::Round /*round*/, const radio::Message& /*msg*/) override {
+    ++receptions_;
+  }
+
+ private:
+  std::uint64_t pattern_ = 0;
+  std::uint64_t receptions_ = 0;
+};
+
+/// Bulk transmit source for the alarm schedule: the per-node patterns are
+/// pre-transposed into 64 phase rows (phase p row = one bit per node, set
+/// iff bit p of that node's pattern is set), so fill_transmit_words is a
+/// single row copy — the engine-side cost of the schedule is O(n/64) words
+/// instead of n virtual calls.
+class ScheduledAlarmSource final : public radio::PackedTransmitSource {
+ public:
+  ScheduledAlarmSource(const std::vector<std::uint64_t>& patterns) {
+    const std::size_t words = (patterns.size() + 63) / 64;
+    phase_rows_.assign(64, std::vector<std::uint64_t>(words, 0));
+    for (std::size_t v = 0; v < patterns.size(); ++v) {
+      for (std::uint32_t p = 0; p < 64; ++p) {
+        if ((patterns[v] >> p) & 1)
+          phase_rows_[p][v >> 6] |= 1ULL << (v & 63);
+      }
+    }
+  }
+
+  void fill_transmit_words(radio::Round round, std::uint64_t* words,
+                           std::size_t num_words) override {
+    const std::vector<std::uint64_t>& row = phase_rows_[round & 63];
+    const std::size_t n = std::min(num_words, row.size());
+    std::memcpy(words, row.data(), n * sizeof(std::uint64_t));
+    if (n < num_words) std::memset(words + n, 0, (num_words - n) * sizeof(std::uint64_t));
+  }
+
+  radio::MessageBody packed_body(radio::Round /*round*/, radio::NodeId /*from*/) override {
+    return radio::AlarmMsg{};
+  }
+
+ private:
+  std::vector<std::vector<std::uint64_t>> phase_rows_;
 };
 
 /// A pattern word with exactly `ones` bits set, placed by the rng — the
@@ -91,9 +153,29 @@ std::uint64_t make_pattern(std::uint32_t ones, Rng& rng) {
   return word;
 }
 
+/// Ring + random chords within a +-`window` id window (wraparound), target
+/// degree ~`deg`. Built in O(n * deg): the bounded window keeps every CSR
+/// row inside at most ceil(2*window/64)+1 words, the regime the packed
+/// adjacency compresses best — and a plausible stand-in for the unit-disk
+/// topologies the paper's model targets.
+graph::Graph make_window_graph(graph::NodeId n, std::uint32_t window, std::uint32_t deg,
+                               Rng& rng) {
+  graph::Graph g(n);
+  for (graph::NodeId v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  const std::uint64_t chords = static_cast<std::uint64_t>(n) * (deg > 2 ? (deg - 2) / 2 : 0);
+  for (std::uint64_t i = 0; i < chords; ++i) {
+    const auto u = static_cast<graph::NodeId>(rng.next_below(n));
+    const auto off = static_cast<std::uint32_t>(2 + rng.next_below(window - 1));
+    g.add_edge(u, (u + off) % n);
+  }
+  g.finalize();
+  return g;
+}
+
 struct Workload {
   std::string name;
   std::uint32_t pattern_ones;  // transmit probability = ones/64
+  bool alarm = false;          // AlarmMsg schedule + packed source on bitset
 };
 
 struct RowResult {
@@ -102,6 +184,7 @@ struct RowResult {
   radio::TraceCounters counters;
   std::uint64_t sum_tx_degree = 0;  // Σ over transmissions of deg(sender)
   std::uint32_t n = 0;
+  std::uint32_t payload_bytes = 0;
 };
 
 /// Analytic bytes-touched-per-round: 4B per awake-list slot scanned, per
@@ -114,7 +197,7 @@ double touched_bytes_model(const RowResult& r) {
   const radio::TraceCounters& c = r.counters;
   const std::uint64_t touched =
       c.deliveries + c.collision_slots + c.deaf_slots + c.fault_drops;
-  const double per_tx_body = sizeof(radio::Message) + 16.0;
+  const double per_tx_body = sizeof(radio::Message) + static_cast<double>(r.payload_bytes);
   const double total = 4.0 * static_cast<double>(r.n) * static_cast<double>(r.rounds) +
                        4.0 * static_cast<double>(r.sum_tx_degree) +
                        per_tx_body * static_cast<double>(c.transmissions) +
@@ -123,15 +206,16 @@ double touched_bytes_model(const RowResult& r) {
 }
 
 RowResult run_workload(const graph::Graph& g, const Workload& w, std::uint64_t rounds,
-                       int reps) {
+                       int reps, radio::EngineMode engine) {
   const std::uint32_t n = g.num_nodes();
   // Deterministic per-node schedule + payloads (fixed seed, shared by the
-  // accounting pass and every timed rep).
+  // accounting pass, every timed rep, and both engine modes).
   Rng pattern_rng(0xe57a6eull * (w.pattern_ones + 1));
   std::vector<std::uint64_t> patterns(n);
-  std::vector<radio::Packet> packets(n);
+  std::vector<radio::Packet> packets(w.alarm ? 0 : n);
   for (radio::NodeId v = 0; v < n; ++v) {
     patterns[v] = make_pattern(w.pattern_ones, pattern_rng);
+    if (w.alarm) continue;
     packets[v].id = radio::make_packet_id(v, 0);
     packets[v].payload.resize(16);
     for (auto& byte : packets[v].payload) {
@@ -142,19 +226,32 @@ RowResult run_workload(const graph::Graph& g, const Workload& w, std::uint64_t r
   RowResult row;
   row.rounds = rounds;
   row.n = n;
+  row.payload_bytes = w.alarm ? 0 : 16;
 
   // Accounting pass (untimed): Σ deg(sender) over the fixed schedule.
-  for (std::uint64_t r = 0; r < rounds; ++r) {
-    for (radio::NodeId v = 0; v < n; ++v) {
-      if ((patterns[v] >> (r & 63)) & 1) row.sum_tx_degree += g.degree(v);
+  // Per-phase transmit-degree sums, then one pass over the rounds.
+  std::uint64_t phase_deg[64] = {};
+  for (radio::NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t p = 0; p < 64; ++p) {
+      if ((patterns[v] >> p) & 1) phase_deg[p] += g.degree(v);
     }
   }
+  for (std::uint64_t r = 0; r < rounds; ++r) row.sum_tx_degree += phase_deg[r & 63];
+
+  std::optional<ScheduledAlarmSource> source;
+  if (w.alarm && engine == radio::EngineMode::kBitset) source.emplace(patterns);
 
   row.best_seconds = 1e100;
   for (int rep = 0; rep < reps; ++rep) {
     radio::Network net(g);
+    net.set_engine(engine);
+    if (source) net.set_packed_source(&*source);
     for (radio::NodeId v = 0; v < n; ++v) {
-      net.set_protocol(v, std::make_unique<ScheduledNode>(v, patterns[v], packets[v]));
+      if (w.alarm) {
+        net.set_protocol(v, std::make_unique<ScheduledAlarmNode>(patterns[v]));
+      } else {
+        net.set_protocol(v, std::make_unique<ScheduledNode>(v, patterns[v], packets[v]));
+      }
       net.wake_at_start(v);
     }
     const double start = cpu_seconds();
@@ -166,19 +263,69 @@ RowResult run_workload(const graph::Graph& g, const Workload& w, std::uint64_t r
   return row;
 }
 
+void emit_row(radiocast::Table& table, benchutil::JsonReport& json, const Workload& w,
+              radio::EngineMode engine, const RowResult& row) {
+  const radio::TraceCounters& c = row.counters;
+  const std::uint64_t touched =
+      c.deliveries + c.collision_slots + c.deaf_slots + c.fault_drops;
+  const double rps = static_cast<double>(row.rounds) / row.best_seconds;
+  const double tx_per_round =
+      static_cast<double>(c.transmissions) / static_cast<double>(row.rounds);
+  const double touched_per_round =
+      static_cast<double>(touched) / static_cast<double>(row.rounds);
+  const double bytes_per_round = touched_bytes_model(row);
+  table.row()
+      .add(w.name)
+      .add(radio::engine_mode_name(engine))
+      .add(row.n)
+      .add(row.rounds)
+      .add(tx_per_round, 1)
+      .add(touched_per_round, 1)
+      .add(rps, 0)
+      .add(bytes_per_round, 0);
+  json.row()
+      .col("workload", w.name)
+      .col("engine", radio::engine_mode_name(engine))
+      .col("n", row.n)
+      .col("rounds", row.rounds)
+      .col("transmissions", c.transmissions)
+      .col("deliveries", c.deliveries)
+      .col("collision_slots", c.collision_slots)
+      .col("deaf_slots", c.deaf_slots)
+      .col("tx_per_round", tx_per_round)
+      .col("touched_per_round", touched_per_round)
+      .col("rounds_per_sec", rps)
+      .col("est_bytes_per_round", bytes_per_round);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string engine_arg = "both";
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine_arg = argv[++i];
+    }
+  }
+  std::vector<radio::EngineMode> engines;
+  if (engine_arg == "scalar" || engine_arg == "both")
+    engines.push_back(radio::EngineMode::kScalar);
+  if (engine_arg == "bitset" || engine_arg == "both")
+    engines.push_back(radio::EngineMode::kBitset);
+  if (engines.empty()) {
+    std::cerr << "usage: bench_engine_step [--smoke] [--engine scalar|bitset|both]\n";
+    return 1;
   }
 
   benchutil::banner("engine_step",
                     "Network::step in isolation: rounds/sec and bytes-touched/round "
-                    "on fixed dense/sparse transmission schedules");
+                    "on fixed dense/sparse transmission schedules, per engine mode");
   benchutil::JsonReport json("engine_step");
   json.meta("smoke", smoke ? "1" : "0");
+  json.meta("engines", engine_arg);
 
   const std::uint32_t n = smoke ? 512 : 2048;
   const std::uint64_t rounds = smoke ? 1024 : 4096;
@@ -191,41 +338,42 @@ int main(int argc, char** argv) {
   print_meta(std::cout, "graph", "gnp " + g.summary());
   json.meta("graph", g.summary());
 
-  radiocast::Table table({"workload", "n", "rounds", "tx/round", "touched/round",
-                          "rounds/sec", "est bytes/round"});
-  const std::vector<Workload> workloads = {{"dense", 16}, {"sparse", 1}};
+  radiocast::Table table({"workload", "engine", "n", "rounds", "tx/round",
+                          "touched/round", "rounds/sec", "est bytes/round"});
+  const std::vector<Workload> workloads = {
+      {"dense", 16}, {"sparse", 1}, {"alarm", 16, /*alarm=*/true}};
   for (const Workload& w : workloads) {
-    const RowResult row = run_workload(g, w, rounds, reps);
-    const radio::TraceCounters& c = row.counters;
-    const std::uint64_t touched =
-        c.deliveries + c.collision_slots + c.deaf_slots + c.fault_drops;
-    const double rps = static_cast<double>(row.rounds) / row.best_seconds;
-    const double tx_per_round =
-        static_cast<double>(c.transmissions) / static_cast<double>(row.rounds);
-    const double touched_per_round =
-        static_cast<double>(touched) / static_cast<double>(row.rounds);
-    const double bytes_per_round = touched_bytes_model(row);
-    table.row()
-        .add(w.name)
-        .add(n)
-        .add(row.rounds)
-        .add(tx_per_round, 1)
-        .add(touched_per_round, 1)
-        .add(rps, 0)
-        .add(bytes_per_round, 0);
-    json.row()
-        .col("workload", w.name)
-        .col("n", n)
-        .col("rounds", row.rounds)
-        .col("transmissions", c.transmissions)
-        .col("deliveries", c.deliveries)
-        .col("collision_slots", c.collision_slots)
-        .col("deaf_slots", c.deaf_slots)
-        .col("tx_per_round", tx_per_round)
-        .col("touched_per_round", touched_per_round)
-        .col("rounds_per_sec", rps)
-        .col("est_bytes_per_round", bytes_per_round);
+    for (const radio::EngineMode engine : engines) {
+      emit_row(table, json, w, engine, run_workload(g, w, rounds, reps, engine));
+    }
   }
+
+  if (!smoke) {
+    // The ISSUE 7 acceptance rows: a 10^5-node dense alarm schedule (the
+    // bitset engine must clear >= 5x the scalar rounds/sec here) and a
+    // 10^6-node sparse sweep that must simply complete. Window topologies
+    // keep graph construction O(n * deg) and CSR rows word-compact.
+    Rng big_rng(0xb16b00b5ull);
+    const graph::Graph g100k = make_window_graph(100000, 64, 16, big_rng);
+    print_meta(std::cout, "graph_100k", "window " + g100k.summary());
+    const graph::Graph g1m = make_window_graph(1000000, 64, 4, big_rng);
+    print_meta(std::cout, "graph_1m", "window " + g1m.summary());
+
+    // p = 24/64: the collision-dominated regime (the one the Decay
+    // analysis lives in) — most slots carry >= 2 transmitters, which the
+    // bitset engine classifies by popcount instead of per-node walks.
+    const Workload dense_big{"alarm_dense_100k", 24, /*alarm=*/true};
+    const Workload sparse_big{"alarm_sparse_1m", 1, /*alarm=*/true};
+    for (const radio::EngineMode engine : engines) {
+      emit_row(table, json, dense_big, engine,
+               run_workload(g100k, dense_big, /*rounds=*/256, /*reps=*/1, engine));
+    }
+    for (const radio::EngineMode engine : engines) {
+      emit_row(table, json, sparse_big, engine,
+               run_workload(g1m, sparse_big, /*rounds=*/64, /*reps=*/1, engine));
+    }
+  }
+
   table.print(std::cout);
   return 0;
 }

@@ -4,7 +4,8 @@
 Usage:
     bench_compare.py --baseline bench/baselines/BENCH_engine_step.json \
                      --candidate perf-smoke-json/BENCH_engine_step.json \
-                     [--tolerance 0.15] [--require-meta smoke]
+                     [--tolerance 0.15] [--col-tolerance COL=FRAC ...] \
+                     [--require-meta smoke]
 
 Rows are matched by their key columns (every column that is neither
 throughput- nor time-derived). The comparison has two tiers:
@@ -16,7 +17,10 @@ throughput- nor time-derived). The comparison has two tiers:
   * Throughput columns (see THROUGHPUT_COLUMNS) are compared with a
     relative tolerance, and only regressions fail: a candidate may be
     arbitrarily faster than its baseline, but if it is slower by more
-    than --tolerance (default 15%) the gate fails.
+    than the tolerance the gate fails. The default comes from --tolerance
+    (15%); individual columns can override it with repeatable
+    --col-tolerance COL=FRAC flags (e.g. a noisy end-to-end column gets
+    0.30 while the rest stay at the default).
 
 Exit codes: 0 ok, 1 regression/mismatch, 2 usage or malformed input.
 """
@@ -62,6 +66,14 @@ def main() -> int:
         help="max relative throughput regression before failing (default 0.15)",
     )
     parser.add_argument(
+        "--col-tolerance",
+        action="append",
+        default=[],
+        metavar="COL=FRAC",
+        help="per-column tolerance override, repeatable (e.g. "
+        "rounds_per_sec=0.30); columns not listed use --tolerance",
+    )
+    parser.add_argument(
         "--require-meta",
         action="append",
         default=[],
@@ -72,6 +84,21 @@ def main() -> int:
     args = parser.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
+    col_tolerance: dict[str, float] = {}
+    for spec in args.col_tolerance:
+        col, sep, frac = spec.partition("=")
+        try:
+            value = float(frac)
+        except ValueError:
+            value = -1.0
+        if not sep or not col or not 0.0 <= value < 1.0:
+            parser.error(f"--col-tolerance expects COL=FRAC with FRAC in [0, 1): {spec!r}")
+        if col not in THROUGHPUT_COLUMNS:
+            parser.error(
+                f"--col-tolerance column {col!r} is not a throughput column "
+                f"(known: {', '.join(sorted(THROUGHPUT_COLUMNS))})"
+            )
+        col_tolerance[col] = value
 
     base = load_report(args.baseline)
     cand = load_report(args.candidate)
@@ -105,7 +132,7 @@ def main() -> int:
     for key in sorted(base_rows.keys() & cand_rows.keys()):
         brow, crow = base_rows[key], cand_rows[key]
         label = ", ".join(
-            f"{k}={v}" for k, v in key if k in ("workload", "n", "rounds")
+            f"{k}={v}" for k, v in key if k in ("workload", "engine", "n", "rounds")
         ) or str(dict(key))
         for col in sorted(THROUGHPUT_COLUMNS & brow.keys() & crow.keys()):
             b, c = float(brow[col]), float(crow[col])
@@ -113,14 +140,15 @@ def main() -> int:
                 failures.append(f"[{label}] baseline {col} is non-positive: {b}")
                 continue
             checked += 1
+            tolerance = col_tolerance.get(col, args.tolerance)
             ratio = c / b
             verdict = "ok"
-            if ratio < 1.0 - args.tolerance:
+            if ratio < 1.0 - tolerance:
                 verdict = "REGRESSION"
                 failures.append(
                     f"[{label}] {col} regressed: {b:.0f} -> {c:.0f} "
                     f"({(1.0 - ratio) * 100.0:.1f}% slower, tolerance "
-                    f"{args.tolerance * 100.0:.0f}%)"
+                    f"{tolerance * 100.0:.0f}%)"
                 )
             print(f"{label}: {col} {b:.0f} -> {c:.0f} (x{ratio:.3f}) {verdict}")
 

@@ -1,0 +1,168 @@
+#include "core/decay_lanes.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.hpp"
+#include "common/math_util.hpp"
+
+namespace radiocast::core {
+
+namespace {
+
+using graph::NodeId;
+
+std::uint32_t resolve_epoch_length(const graph::Graph& g, const DecayLaneConfig& cfg) {
+  if (cfg.epoch_length != 0) return cfg.epoch_length;
+  const std::uint64_t delta = std::max<std::uint64_t>(2, g.max_degree());
+  return ceil_log2(delta) + 1;
+}
+
+std::uint64_t resolve_max_rounds(const graph::Graph& g, std::uint32_t epoch_length,
+                                 const DecayLaneConfig& cfg) {
+  if (cfg.max_rounds != 0) return cfg.max_rounds;
+  // Whp bound is O((diam + log n) log Δ); n·L generously covers the
+  // worst diameter without computing it.
+  return 8ULL * epoch_length * std::max<std::uint64_t>(1, g.num_nodes());
+}
+
+/// One node's transmit-decision word for Decay step `s`: the AND of s+1
+/// uniform words (bit j set with probability 2^-(s+1), independently per
+/// lane). Always draws exactly s+1 words — see the draw discipline note in
+/// the header.
+std::uint64_t draw_step_word(Rng& rng, std::uint32_t s) {
+  std::uint64_t d = rng();
+  for (std::uint32_t extra = 0; extra < s; ++extra) d &= rng();
+  return d;
+}
+
+std::vector<Rng> node_streams(const graph::Graph& g, std::uint64_t seed) {
+  Rng master(seed);
+  std::vector<Rng> rngs;
+  rngs.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) rngs.push_back(master.split());
+  return rngs;
+}
+
+}  // namespace
+
+DecayLaneResult run_decay_lanes(const graph::Graph& g, const DecayLaneConfig& cfg) {
+  RC_ASSERT(g.finalized());
+  RC_ASSERT(cfg.source < g.num_nodes());
+  const NodeId n = g.num_nodes();
+  const std::uint32_t epoch_length = resolve_epoch_length(g, cfg);
+  const std::uint64_t max_rounds = resolve_max_rounds(g, epoch_length, cfg);
+
+  std::vector<Rng> rngs = node_streams(g, cfg.seed);
+  std::vector<std::uint64_t> informed(n, 0);
+  std::vector<std::uint64_t> tx(n, 0);
+  informed[cfg.source] = ~0ULL;
+
+  DecayLaneResult result;
+  result.completion_round.fill(DecayLaneResult::kIncomplete);
+  std::uint64_t done_lanes = (n == 1) ? ~0ULL : 0;
+  if (n == 1) result.completion_round.fill(0);
+
+  const std::size_t* const offsets = g.csr_offsets();
+  const NodeId* const targets = g.csr_targets();
+
+  std::uint64_t round = 0;
+  for (; round < max_rounds && done_lanes != ~0ULL; ++round) {
+    const auto s = static_cast<std::uint32_t>(round % epoch_length);
+    // Phase 1: transmit words, all lanes at once.
+    for (NodeId v = 0; v < n; ++v) {
+      tx[v] = informed[v] & draw_step_word(rngs[v], s);
+    }
+    // Phase 2+3 per listener: carry-save over the neighbors' transmit
+    // words; once & ~twice & ~tx[v] is the exactly-one-transmitter rule
+    // for all 64 trials. Updating informed in place is safe — reception
+    // reads only this round's tx words, already fixed.
+    std::uint64_t all = ~0ULL;
+    for (NodeId v = 0; v < n; ++v) {
+      std::uint64_t once = 0;
+      std::uint64_t twice = 0;
+      const std::size_t end = offsets[v + 1];
+      for (std::size_t e = offsets[v]; e < end; ++e) {
+        const std::uint64_t t = tx[targets[e]];
+        twice |= once & t;
+        once |= t;
+      }
+      informed[v] |= once & ~twice & ~tx[v];
+      all &= informed[v];
+    }
+    std::uint64_t fresh = all & ~done_lanes;
+    while (fresh != 0) {
+      const auto lane = static_cast<std::uint32_t>(std::countr_zero(fresh));
+      fresh &= fresh - 1;
+      result.completion_round[lane] = round;
+    }
+    done_lanes |= all;
+  }
+
+  result.rounds_run = round;
+  result.lanes_complete = static_cast<std::uint32_t>(std::popcount(done_lanes));
+  for (std::uint32_t lane = 0; lane < 64; ++lane) {
+    std::uint32_t count = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      count += static_cast<std::uint32_t>((informed[v] >> lane) & 1ULL);
+    }
+    result.informed_count[lane] = count;
+  }
+  return result;
+}
+
+std::uint64_t run_decay_lane_reference(const graph::Graph& g, const DecayLaneConfig& cfg,
+                                       std::uint32_t lane) {
+  RC_ASSERT(g.finalized());
+  RC_ASSERT(cfg.source < g.num_nodes() && lane < 64);
+  const NodeId n = g.num_nodes();
+  const std::uint32_t epoch_length = resolve_epoch_length(g, cfg);
+  const std::uint64_t max_rounds = resolve_max_rounds(g, epoch_length, cfg);
+
+  std::vector<Rng> rngs = node_streams(g, cfg.seed);
+  std::vector<std::uint8_t> informed(n, 0);
+  std::vector<std::uint8_t> tx(n, 0);
+  informed[cfg.source] = 1;
+  std::uint32_t informed_count = 1;
+  if (n == 1) return 0;
+
+  for (std::uint64_t round = 0; round < max_rounds; ++round) {
+    const auto s = static_cast<std::uint32_t>(round % epoch_length);
+    // Identical draw schedule to the bit-sliced run (every node, every
+    // round, s+1 words); this lane is bit `lane` of each word.
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint64_t d = draw_step_word(rngs[v], s);
+      tx[v] = static_cast<std::uint8_t>(informed[v] & ((d >> lane) & 1ULL));
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (informed[v] || tx[v]) continue;
+      std::uint32_t reached = 0;
+      for (const NodeId u : g.neighbors(v)) reached += tx[u];
+      if (reached == 1) {
+        informed[v] = 1;
+        ++informed_count;
+      }
+    }
+    if (informed_count == n) return round;
+  }
+  return DecayLaneResult::kIncomplete;
+}
+
+std::vector<DecayLaneResult> run_decay_lane_blocks(const graph::Graph& g,
+                                                   const DecayLaneConfig& cfg, int blocks,
+                                                   const montecarlo::Options& opts) {
+  RC_ASSERT(blocks >= 0);
+  return montecarlo::run(
+      blocks,
+      [&](int b) {
+        DecayLaneConfig block_cfg = cfg;
+        // splitmix64 over (seed, block) — deterministic, block-independent
+        // streams regardless of scheduling.
+        std::uint64_t st = cfg.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(b);
+        block_cfg.seed = splitmix64(st);
+        return run_decay_lanes(g, block_cfg);
+      },
+      opts);
+}
+
+}  // namespace radiocast::core

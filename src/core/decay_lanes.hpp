@@ -1,0 +1,84 @@
+// 64-trial bit-sliced simulation of the one-bit Decay broadcast.
+//
+// The Decay subroutine (protocols/decay.hpp) carries a single bit: what a
+// node transmits is "the alarm", so a trial's entire state is one bit per
+// node — informed or not. That makes 64 independent Monte Carlo trials of
+// the subroutine exactly one uint64 per node, updated with the same
+// carry-save word arithmetic the bit-parallel round engine uses:
+//
+//   lane j of every word is trial j.  A fair coin per (node, draw) is one
+//   uniform 64-bit word; transmitting with probability 2^-(s+1) in Decay
+//   step s is the AND of s+1 successive words.  Per listener,
+//   (once, twice) accumulate neighbors' transmit words and
+//   once & ~twice & ~tx is the "received cleanly" word — the radio model's
+//   exactly-one rule, for all 64 trials at once.
+//
+// Draw discipline: every node consumes exactly s+1 words in step s whether
+// or not it is informed (the transmit word is masked by the informed word
+// afterwards). The word-stream position is therefore a pure function of
+// time, which (a) keeps the 64 lanes independent — bit j of a uniform
+// word never depends on other lanes' states — and (b) lets a scalar
+// reference replay the identical stream and extract bit j, which is how
+// the tests pin every lane (see tests/core/decay_lanes_test.cpp).
+//
+// core::montecarlo drives blocks of 64 trials in parallel
+// (run_decay_lane_blocks), so "N trials of Stage-1/Decay" costs N/64
+// simulations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/montecarlo.hpp"
+#include "graph/graph.hpp"
+
+namespace radiocast::core {
+
+struct DecayLaneConfig {
+  /// Rounds per Decay epoch (step s transmits with probability 2^-(s+1),
+  /// matching protocols::Decay). 0 derives ceil(log2 Δ) + 1 from the
+  /// graph, the protocol stack's choice.
+  std::uint32_t epoch_length = 0;
+  /// The initially informed node (all 64 lanes start from the same
+  /// source; lanes differ only in their coin flips).
+  graph::NodeId source = 0;
+  /// Round cap; 0 derives a generous O(n · epoch_length) bound.
+  std::uint64_t max_rounds = 0;
+  std::uint64_t seed = 0x1a9e5eedULL;
+};
+
+struct DecayLaneResult {
+  static constexpr std::uint64_t kIncomplete = ~0ULL;
+
+  /// Rounds actually simulated (stops early once every lane completed).
+  std::uint64_t rounds_run = 0;
+  /// Per-lane first round index after which every node was informed
+  /// (kIncomplete if the cap hit first).
+  std::array<std::uint64_t, 64> completion_round{};
+  /// Per-lane informed-node count at exit (== n for completed lanes).
+  std::array<std::uint32_t, 64> informed_count{};
+  std::uint32_t lanes_complete = 0;
+};
+
+/// Runs 64 bit-sliced trials of one-bit Decay broadcast on `g`.
+/// The graph must be finalized and connected runs are the interesting
+/// case, but any finalized graph is accepted.
+DecayLaneResult run_decay_lanes(const graph::Graph& g, const DecayLaneConfig& cfg);
+
+/// Scalar reference for a single lane: replays the identical per-node word
+/// stream and extracts bit `lane` of every draw. Returns that trial's
+/// completion round (kIncomplete if capped) — must equal
+/// run_decay_lanes(...).completion_round[lane] for every lane.
+std::uint64_t run_decay_lane_reference(const graph::Graph& g, const DecayLaneConfig& cfg,
+                                       std::uint32_t lane);
+
+/// `blocks` independent 64-trial blocks (block b reseeds deterministically
+/// from cfg.seed and b), scheduled through core::montecarlo — results in
+/// block order, identical at any thread count.
+std::vector<DecayLaneResult> run_decay_lane_blocks(const graph::Graph& g,
+                                                   const DecayLaneConfig& cfg, int blocks,
+                                                   const montecarlo::Options& opts = {});
+
+}  // namespace radiocast::core

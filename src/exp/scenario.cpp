@@ -195,8 +195,8 @@ ScenarioSpec parse_scenario(std::string_view json_text) {
       o, "scenario",
       {"id", "title", "claim", "mode", "topology", "knowledge", "placement",
        "payload_bytes", "algos", "k", "loss", "collision_detection", "seeds",
-       "seed_base", "max_rounds", "audit", "threads", "telemetry", "dynamic",
-       "report"});
+       "seed_base", "max_rounds", "audit", "engine", "threads", "telemetry",
+       "dynamic", "report"});
 
   ScenarioSpec s;
   opt_string(o, "scenario", "id", s.id);
@@ -225,6 +225,7 @@ ScenarioSpec parse_scenario(std::string_view json_text) {
   opt_u64(o, "scenario", "seed_base", s.seed_base);
   opt_u64(o, "scenario", "max_rounds", s.max_rounds);
   opt_bool(o, "scenario", "audit", s.audit);
+  opt_string(o, "scenario", "engine", s.engine);
   opt_int(o, "scenario", "threads", s.threads);
   if (const JsonValue* v = o.find("telemetry"))
     s.telemetry = parse_telemetry(*v, "scenario.telemetry");
@@ -284,6 +285,11 @@ JsonValue scenario_to_json(const ScenarioSpec& s) {
   o.set("seed_base", s.seed_base);
   o.set("max_rounds", s.max_rounds);
   o.set("audit", s.audit);
+  // "engine" IS part of the spec identity (unlike "threads"): the round
+  // kernel is pinned result-identical across modes, but provenance must
+  // record which kernel produced a table, so changing it changes every
+  // digest (see docs/experiments.md).
+  o.set("engine", s.engine);
   // "threads" is deliberately absent: it is an execution knob, not part of
   // the experiment's identity, so it must not perturb spec digests.
   o.set("telemetry", JsonValue(std::move(telem)));
@@ -330,6 +336,8 @@ void validate_scenario(const ScenarioSpec& s) {
 
   if (s.seeds < 1) fail("seeds must be >= 1");
   if (s.threads < 0) fail("threads must be >= 0");
+  if (s.engine != "scalar" && s.engine != "bitset")
+    fail("engine must be \"scalar\" or \"bitset\"");
 
   if (s.telemetry.enabled) {
     if (s.telemetry.ledger_rounds == 0) fail("telemetry.ledger_rounds must be >= 1");
@@ -365,11 +373,16 @@ void validate_scenario(const ScenarioSpec& s) {
     if (needs_sweep_engine && (has_faults || has_cd || s.audit))
       fail("loss > 0, collision_detection and audit require algos within "
            "{coded, uncoded}");
+    // Same restriction for the engine knob: seq_bgi/gossip run through the
+    // plain run_algo entry point, which always uses the scalar kernel.
+    if (needs_sweep_engine && s.engine != "scalar")
+      fail("engine \"bitset\" requires algos within {coded, uncoded}");
   } else {
     if (s.dynamic.load.empty()) fail("dynamic.load must not be empty");
     for (const double l : s.dynamic.load)
       if (l <= 0 || l > 16) fail("dynamic.load values must be in (0, 16]");
     if (s.audit) fail("audit is not supported in dynamic mode");
+    if (s.engine != "scalar") fail("engine \"bitset\" is not supported in dynamic mode");
   }
 }
 

@@ -121,6 +121,10 @@ struct ScenarioSpec {
 
   std::uint64_t max_rounds = 0;  ///< 0 = schedule-derived bound
   bool audit = false;  ///< attach a ModelAuditor to every trial
+  /// Round kernel: "scalar" (reference) or "bitset" (bit-parallel, result-
+  /// identical). Part of the spec identity — changing it changes every
+  /// digest, so tables always record which kernel produced them.
+  std::string engine = "scalar";
   int threads = 0;     ///< 0 = RADIOCAST_BENCH_THREADS / hardware
 
   TelemetrySpec telemetry;

@@ -1,5 +1,6 @@
 #include "gf2/bitvec.hpp"
 
+#include <algorithm>
 #include <bit>
 
 namespace radiocast::gf2 {
@@ -29,9 +30,31 @@ BitVec BitVec::unit(std::size_t size, std::size_t i) {
   return v;
 }
 
+namespace {
+
+/// Index one past the highest nonzero word (0 if all words are zero).
+std::size_t nonzero_word_limit(const std::uint64_t* words, std::size_t n) {
+  while (n > 0 && words[n - 1] == 0) --n;
+  return n;
+}
+
+}  // namespace
+
 BitVec& BitVec::operator^=(const BitVec& other) {
   RC_ASSERT(size_ == other.size_);
-  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+  xor_words(words_.data(), other.words_.data(), words_.size());
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) {
+  RC_ASSERT(size_ == other.size_);
+  // Words past either operand's highest nonzero word contribute nothing;
+  // clear ours and only combine the live prefix.
+  const std::size_t limit =
+      std::min(nonzero_word_limit(words_.data(), words_.size()),
+               nonzero_word_limit(other.words_.data(), other.words_.size()));
+  for (std::size_t w = limit; w < words_.size(); ++w) words_[w] = 0;
+  for (std::size_t w = 0; w < limit; ++w) words_[w] &= other.words_[w];
   return *this;
 }
 
@@ -43,9 +66,23 @@ bool BitVec::is_zero() const {
 }
 
 std::size_t BitVec::popcount() const {
+  const std::size_t limit = nonzero_word_limit(words_.data(), words_.size());
   std::size_t total = 0;
-  for (std::uint64_t word : words_) total += static_cast<std::size_t>(std::popcount(word));
+  for (std::size_t w = 0; w < limit; ++w) {
+    total += static_cast<std::size_t>(std::popcount(words_[w]));
+  }
   return total;
+}
+
+std::optional<std::size_t> BitVec::find_single_bit() const {
+  std::optional<std::size_t> found;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t word = words_[w];
+    if (word == 0) continue;
+    if (found || (word & (word - 1)) != 0) return std::nullopt;  // >= 2 bits
+    found = (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+  }
+  return found;
 }
 
 std::size_t BitVec::lowest_set_bit() const {
@@ -110,6 +147,12 @@ std::string BitVec::to_string() const {
   s.reserve(size_);
   for (std::size_t i = 0; i < size_; ++i) s.push_back(get(i) ? '1' : '0');
   return s;
+}
+
+void BitVec::resize(std::size_t bits) {
+  words_.resize(word_count(bits), 0);
+  size_ = bits;
+  trim();  // shrinking within the last word leaves stale tail bits
 }
 
 void BitVec::trim() {

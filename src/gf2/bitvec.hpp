@@ -8,11 +8,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "gf2/simd.hpp"
 
 namespace radiocast::gf2 {
 
@@ -64,13 +67,28 @@ class BitVec {
     return lhs;
   }
 
+  /// In-place AND. Sizes must match. Short-circuits on trailing zero words:
+  /// only words up to the shorter of the two operands' highest nonzero word
+  /// are combined; the rest are cleared without reading `other`.
+  BitVec& operator&=(const BitVec& other);
+  friend BitVec operator&(BitVec lhs, const BitVec& rhs) {
+    lhs &= rhs;
+    return lhs;
+  }
+
   bool operator==(const BitVec& other) const = default;
 
   /// True iff all bits are zero.
   bool is_zero() const;
 
-  /// Number of set bits.
+  /// Number of set bits. Short-circuits on trailing zero words (common for
+  /// sparse transmit sets whose population lives in a prefix of the words).
   std::size_t popcount() const;
+
+  /// The index of the single set bit iff exactly one bit is set, otherwise
+  /// nullopt. Used by the reception sweep's exactly-one-transmitter
+  /// detector; early-exits on the first word with two hits.
+  std::optional<std::size_t> find_single_bit() const;
 
   /// Index of the lowest set bit, or `size()` if the vector is zero.
   std::size_t lowest_set_bit() const;
@@ -95,14 +113,40 @@ class BitVec {
   /// "0101..." rendering, bit 0 first.
   std::string to_string() const;
 
- private:
+  // --- word-span view -------------------------------------------------
+  //
+  // The bit-parallel round engine operates on BitVecs as raw uint64_t
+  // arrays (AND/popcount sweeps over CSR rows). The span accessors expose
+  // the packed words directly; callers that write through the mutable
+  // span must call clear_excess_bits() before handing the vector back to
+  // bit-level code, since bits past size() in the last word are otherwise
+  // unspecified.
+
+  /// Number of 64-bit words backing the vector (= ceil(size/64)).
+  std::size_t num_words() const { return words_.size(); }
+
+  /// The packed words, bit i of the vector at words()[i/64] >> (i%64).
+  /// Storage is 64-byte aligned.
+  std::span<std::uint64_t> words() { return {words_.data(), words_.size()}; }
+  std::span<const std::uint64_t> words() const { return {words_.data(), words_.size()}; }
+
+  /// Grows or shrinks to `bits`, zero-filling new bits and masking any
+  /// now-out-of-range tail bits.
+  void resize(std::size_t bits);
+
+  /// Clears any bits beyond size() in the last word. Required after word-
+  /// level writes through words() so ==, popcount, and ones stay honest.
+  void clear_excess_bits() { trim(); }
+
   static std::size_t word_count(std::size_t bits) { return (bits + 63) / 64; }
+
+ private:
   /// Clears any bits beyond `size_` in the last word (keeps == and
   /// popcount honest after word-level operations).
   void trim();
 
   std::size_t size_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::vector<std::uint64_t, AlignedAlloc<std::uint64_t>> words_;
 };
 
 }  // namespace radiocast::gf2

@@ -1,0 +1,103 @@
+#include "gf2/simd.hpp"
+
+#include <cstring>
+
+// The AVX2 path is compiled only when the build opts in
+// (RADIOCAST_ENABLE_AVX2, set by CMake on x86-64) AND the compiler supports
+// per-function target attributes. It is selected at runtime with
+// __builtin_cpu_supports, so one binary runs correctly on any x86-64 CPU.
+#if defined(RADIOCAST_ENABLE_AVX2) && defined(__x86_64__) && defined(__GNUC__)
+#define RADIOCAST_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#else
+#define RADIOCAST_HAVE_AVX2_KERNEL 0
+#endif
+
+namespace radiocast::gf2 {
+namespace {
+
+// Portable kernel: 4x8-byte unrolled, memcpy word access (alignment-safe,
+// no strict-aliasing traps). Compilers auto-vectorise this loop with the
+// baseline ISA; the explicit unroll keeps the scalar fallback respectable
+// even at -O1.
+void xor_bytes_portable(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    std::uint64_t a0, a1, a2, a3;
+    std::uint64_t b0, b1, b2, b3;
+    std::memcpy(&a0, dst + i, 8);
+    std::memcpy(&a1, dst + i + 8, 8);
+    std::memcpy(&a2, dst + i + 16, 8);
+    std::memcpy(&a3, dst + i + 24, 8);
+    std::memcpy(&b0, src + i, 8);
+    std::memcpy(&b1, src + i + 8, 8);
+    std::memcpy(&b2, src + i + 16, 8);
+    std::memcpy(&b3, src + i + 24, 8);
+    a0 ^= b0;
+    a1 ^= b1;
+    a2 ^= b2;
+    a3 ^= b3;
+    std::memcpy(dst + i, &a0, 8);
+    std::memcpy(dst + i + 8, &a1, 8);
+    std::memcpy(dst + i + 16, &a2, 8);
+    std::memcpy(dst + i + 24, &a3, 8);
+  }
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+#if RADIOCAST_HAVE_AVX2_KERNEL
+__attribute__((target("avx2"))) void xor_bytes_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                                                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), _mm256_xor_si256(a1, b1));
+  }
+  for (; i + 32 <= n; i += 32) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(a, b));
+  }
+  xor_bytes_portable(dst + i, src + i, n - i);
+}
+#endif
+
+using XorFn = void (*)(std::uint8_t*, const std::uint8_t*, std::size_t);
+
+struct Dispatch {
+  XorFn fn;
+  const char* name;
+};
+
+Dispatch resolve() {
+#if RADIOCAST_HAVE_AVX2_KERNEL
+  if (__builtin_cpu_supports("avx2")) return {&xor_bytes_avx2, "avx2"};
+#endif
+  return {&xor_bytes_portable, "portable"};
+}
+
+const Dispatch& dispatch() {
+  static const Dispatch d = resolve();
+  return d;
+}
+
+}  // namespace
+
+void xor_bytes(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  dispatch().fn(dst, src, n);
+}
+
+const char* simd_kernel_name() { return dispatch().name; }
+
+}  // namespace radiocast::gf2

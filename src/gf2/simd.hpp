@@ -1,0 +1,68 @@
+// Runtime-dispatched bulk XOR kernels and aligned storage for bit-packed
+// data.
+//
+// The bit-parallel round engine and the network-coding layer both reduce to
+// long XOR/AND sweeps over word arrays. This header centralises the one
+// primitive worth tuning — `dst ^= src` over a byte range — behind a single
+// function pointer resolved once at startup: an AVX2 path (compiled with a
+// target attribute, so the baseline ISA of the rest of the build is
+// unchanged) when the CPU and build flags allow it, and a portable 4-way
+// unrolled word loop otherwise. Callers never branch on the ISA.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace radiocast::gf2 {
+
+/// dst[0..n) ^= src[0..n). Alignment-free (memcpy-based word access on the
+/// portable path, unaligned loads on the AVX2 path); endian-agnostic
+/// because XOR is bytewise. Regions must not partially overlap.
+void xor_bytes(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+
+/// Word-array convenience wrapper over xor_bytes.
+inline void xor_words(std::uint64_t* dst, const std::uint64_t* src, std::size_t n_words) {
+  xor_bytes(reinterpret_cast<std::uint8_t*>(dst),
+            reinterpret_cast<const std::uint8_t*>(src), n_words * sizeof(std::uint64_t));
+}
+
+/// Name of the kernel the dispatcher resolved to ("avx2" or "portable") —
+/// surfaced in `radiocast version` and the manifest environment block so
+/// benchmark provenance records which kernel produced the numbers.
+const char* simd_kernel_name();
+
+/// Minimal aligned allocator so BitVec word storage starts on a cache-line
+/// boundary (vector-width-friendly for the dispatched kernels).
+template <typename T, std::size_t Align = 64>
+struct AlignedAlloc {
+  using value_type = T;
+  // Required explicitly: allocator_traits cannot auto-rebind through the
+  // non-type Align parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAlloc<U, Align>;
+  };
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0);
+
+  AlignedAlloc() = default;
+  template <typename U>
+  AlignedAlloc(const AlignedAlloc<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Align));
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAlloc<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace radiocast::gf2

@@ -5,26 +5,13 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "gf2/simd.hpp"
 
 namespace radiocast::gf2 {
 
 void xor_into(Payload& dst, const Payload& src) {
   if (src.size() > dst.size()) dst.resize(src.size(), 0);
-  // Word-at-a-time via memcpy (alignment-safe, endian-agnostic: XOR is
-  // bytewise no matter how the words are laid out).
-  std::uint8_t* d = dst.data();
-  const std::uint8_t* s = src.data();
-  const std::size_t n = src.size();
-  std::size_t i = 0;
-  for (; i + sizeof(std::uint64_t) <= n; i += sizeof(std::uint64_t)) {
-    std::uint64_t a;
-    std::uint64_t b;
-    std::memcpy(&a, d + i, sizeof(a));
-    std::memcpy(&b, s + i, sizeof(b));
-    a ^= b;
-    std::memcpy(d + i, &a, sizeof(a));
-  }
-  for (; i < n; ++i) d[i] ^= s[i];
+  xor_bytes(dst.data(), src.data(), src.size());
 }
 
 IncrementalDecoder::IncrementalDecoder(std::size_t width)

@@ -136,6 +136,36 @@ TEST(Scenario, ThreadsIsExcludedFromCanonicalForm) {
   EXPECT_EQ(serialize_scenario(a), serialize_scenario(b));
 }
 
+TEST(Scenario, EngineKnobParsesValidatesAndSerializes) {
+  // Default is scalar (every historical spec digest was produced by it).
+  EXPECT_EQ(parse_scenario(R"({"id": "x"})").engine, "scalar");
+  EXPECT_EQ(parse_scenario(R"({"id":"x","engine":"bitset"})").engine, "bitset");
+  EXPECT_THROW(parse_scenario(R"({"id":"x","engine":"vector"})"), JsonError);
+
+  // engine IS part of the spec identity, unlike threads: flipping it must
+  // change the canonical form (and therefore the digest).
+  const ScenarioSpec scalar = parse_scenario(R"({"id": "x"})");
+  const ScenarioSpec bitset = parse_scenario(R"({"id":"x","engine":"bitset"})");
+  EXPECT_NE(serialize_scenario(scalar), serialize_scenario(bitset));
+  EXPECT_EQ(parse_scenario(serialize_scenario(bitset)).engine, "bitset");
+}
+
+TEST(Scenario, BitsetEngineRequiresPipelineAlgosAndStaticMode) {
+  // seq_bgi/gossip run through run_algo (scalar-only), and the dynamic
+  // runner drives its own loop; both must reject the bitset knob rather
+  // than silently running scalar under a bitset-labelled digest.
+  EXPECT_THROW(parse_scenario(R"({"id":"x","algos":["seq_bgi"],"engine":"bitset"})"),
+               JsonError);
+  EXPECT_THROW(parse_scenario(R"({"id":"x","algos":["gossip"],"engine":"bitset"})"),
+               JsonError);
+  EXPECT_THROW(
+      parse_scenario(
+          R"({"id":"x","mode":"dynamic","dynamic":{"load":[0.5]},"engine":"bitset"})"),
+      JsonError);
+  EXPECT_NO_THROW(
+      parse_scenario(R"({"id":"x","algos":["coded","uncoded"],"engine":"bitset"})"));
+}
+
 TEST(Scenario, SeedGridIsPureFunctionOfSeedBase) {
   const ScenarioSpec s = parse_scenario(R"({"id": "x", "seed_base": 1000})");
   // Formulas are pinned to the historical bench_util ones.

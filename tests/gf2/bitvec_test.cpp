@@ -127,5 +127,84 @@ TEST(BitVec, ToStringFormat) {
   EXPECT_EQ(v.to_string(), "1001");
 }
 
+TEST(BitVec, AndIntersectsSetBits) {
+  const BitVec a = BitVec::from_bits(200, {0, 63, 64, 130, 199});
+  const BitVec b = BitVec::from_bits(200, {0, 64, 129, 199});
+  const BitVec both = a & b;
+  EXPECT_EQ(both.ones(), (std::vector<std::size_t>{0, 64, 199}));
+
+  BitVec c = a;
+  c &= b;
+  EXPECT_EQ(c, both);
+}
+
+TEST(BitVec, AndShortCircuitClearsTrailingWords) {
+  // a populated only in its first word, b only in its last: the short-
+  // circuited AND must still clear a's low word rather than keep it.
+  BitVec a = BitVec::from_bits(320, {1, 2, 3});
+  const BitVec b = BitVec::from_bits(320, {300, 319});
+  a &= b;
+  EXPECT_TRUE(a.is_zero());
+
+  BitVec c = BitVec::from_bits(320, {300, 319});
+  c &= BitVec::from_bits(320, {1, 300});
+  EXPECT_EQ(c.ones(), (std::vector<std::size_t>{300}));
+}
+
+TEST(BitVec, PopcountOnSparseAndDenseVectors) {
+  EXPECT_EQ(BitVec(1000).popcount(), 0u);
+  EXPECT_EQ(BitVec::from_bits(1000, {5}).popcount(), 1u);
+  EXPECT_EQ(BitVec::from_bits(1000, {0, 63, 64, 999}).popcount(), 4u);
+  BitVec all(130);
+  for (std::size_t i = 0; i < 130; ++i) all.set(i, true);
+  EXPECT_EQ(all.popcount(), 130u);
+}
+
+TEST(BitVec, FindSingleBit) {
+  EXPECT_EQ(BitVec(256).find_single_bit(), std::nullopt);
+  EXPECT_EQ(BitVec::from_bits(256, {0}).find_single_bit(), 0u);
+  EXPECT_EQ(BitVec::from_bits(256, {77}).find_single_bit(), 77u);
+  EXPECT_EQ(BitVec::from_bits(256, {255}).find_single_bit(), 255u);
+  // Two bits in one word, and two bits in different words: both reject.
+  EXPECT_EQ(BitVec::from_bits(256, {10, 11}).find_single_bit(), std::nullopt);
+  EXPECT_EQ(BitVec::from_bits(256, {10, 200}).find_single_bit(), std::nullopt);
+}
+
+TEST(BitVec, ResizePreservesPrefixAndMasksTail) {
+  BitVec v = BitVec::from_bits(100, {0, 50, 99});
+  v.resize(160);
+  EXPECT_EQ(v.size(), 160u);
+  EXPECT_EQ(v.ones(), (std::vector<std::size_t>{0, 50, 99}));
+
+  v.resize(51);
+  EXPECT_EQ(v.size(), 51u);
+  EXPECT_EQ(v.ones(), (std::vector<std::size_t>{0, 50}));
+  // Shrink then regrow: the truncated bits must not resurface.
+  v.resize(100);
+  EXPECT_EQ(v.ones(), (std::vector<std::size_t>{0, 50}));
+}
+
+TEST(BitVec, WordSpanRoundTripsWithClearExcessBits) {
+  BitVec v(70);
+  ASSERT_EQ(v.num_words(), 2u);
+  v.words()[0] = ~0ULL;
+  v.words()[1] = ~0ULL;  // sets bits 64..127, of which only 64..69 exist
+  v.clear_excess_bits();
+  EXPECT_EQ(v.popcount(), 70u);
+  EXPECT_EQ(v.highest_set_bit(), 69u);
+  BitVec expect(70);
+  for (std::size_t i = 0; i < 70; ++i) expect.set(i, true);
+  EXPECT_EQ(v, expect);
+
+  const BitVec& cv = v;
+  EXPECT_EQ(cv.words()[0], ~0ULL);
+  EXPECT_EQ(cv.words()[1], (1ULL << 6) - 1);
+}
+
+TEST(BitVec, WordStorageIsCacheAligned) {
+  BitVec v(512);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.words().data()) % 64, 0u);
+}
+
 }  // namespace
 }  // namespace radiocast::gf2

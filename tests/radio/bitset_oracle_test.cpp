@@ -1,0 +1,399 @@
+// Differential oracle: the bitset round kernel against the scalar one.
+//
+// Every test runs two identically seeded simulations lock-step — one
+// Network per engine mode — and compares them after every round: full
+// trace counters, the awake set, and per-protocol observations (transmit
+// calls, receive count, last sender, wake round). The scalar engine is the
+// reference semantics (every historical digest was produced by it), so any
+// divergence is a bitset-engine bug by definition.
+//
+// Coverage spans both bitset sub-paths: the fast word-sweep path (nothing
+// order-sensitive attached) and the exact path (faults, trace events,
+// auditor — all of which observe the scalar receiver-touch order), plus
+// collision detection, wake-on-first-reception from a single seed node,
+// the PackedTransmitSource bulk Phase 1, and a seeded engine mutation whose
+// buggy callback stream must replay identically under either engine.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "radio/network.hpp"
+
+namespace radiocast::radio {
+namespace {
+
+/// Probabilistic flood (the engine_equivalence_test idiom): once awake,
+/// transmits an alarm with probability `p` each round from its own Rng
+/// stream — deterministic given the seed, so two engines fed the same
+/// seeds see the same decisions as long as they fire the same callbacks.
+class FloodNode final : public NodeProtocol {
+ public:
+  FloodNode(Rng rng, double p) : rng_(rng), p_(p) {}
+
+  std::optional<MessageBody> on_transmit(Round /*round*/) override {
+    ++transmit_calls;
+    if (rng_.next_bool(p_)) return AlarmMsg{};
+    return std::nullopt;
+  }
+  void on_receive(Round /*round*/, const Message& msg) override {
+    ++receives;
+    last_from = msg.from;
+  }
+  void on_collision(Round /*round*/) override { ++collisions_seen; }
+  void on_wake(Round round) override { woke_at = round; }
+
+  std::uint64_t transmit_calls = 0;
+  std::uint64_t receives = 0;
+  std::uint64_t collisions_seen = 0;
+  NodeId last_from = 0;
+  std::optional<Round> woke_at;
+
+ private:
+  Rng rng_;
+  double p_;
+};
+
+struct EnginePair {
+  Network scalar_net;
+  Network bitset_net;
+  std::vector<FloodNode*> scalar_nodes;
+  std::vector<FloodNode*> bitset_nodes;
+
+  EnginePair(const graph::Graph& g, std::uint64_t seed, double p)
+      : scalar_net(g), bitset_net(g) {
+    bitset_net.set_engine(EngineMode::kBitset);
+    Rng master_a(seed);
+    Rng master_b(seed);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      auto a = std::make_unique<FloodNode>(master_a.split(), p);
+      auto b = std::make_unique<FloodNode>(master_b.split(), p);
+      scalar_nodes.push_back(a.get());
+      bitset_nodes.push_back(b.get());
+      scalar_net.set_protocol(v, std::move(a));
+      bitset_net.set_protocol(v, std::move(b));
+    }
+  }
+
+  void wake_all() {
+    for (graph::NodeId v = 0; v < scalar_net.num_nodes(); ++v) {
+      scalar_net.wake_at_start(v);
+      bitset_net.wake_at_start(v);
+    }
+  }
+
+  /// Steps both engines once and compares every observable.
+  void step_and_compare() {
+    scalar_net.step();
+    bitset_net.step();
+    const TraceCounters& a = scalar_net.trace().counters();
+    const TraceCounters& b = bitset_net.trace().counters();
+    ASSERT_EQ(a, b) << "counters diverged at round " << scalar_net.current_round();
+    ASSERT_EQ(scalar_net.num_awake(), bitset_net.num_awake());
+    for (graph::NodeId v = 0; v < scalar_net.num_nodes(); ++v) {
+      ASSERT_EQ(scalar_net.is_awake(v), bitset_net.is_awake(v)) << "node " << v;
+      ASSERT_EQ(scalar_nodes[v]->transmit_calls, bitset_nodes[v]->transmit_calls)
+          << "node " << v;
+      ASSERT_EQ(scalar_nodes[v]->receives, bitset_nodes[v]->receives) << "node " << v;
+      ASSERT_EQ(scalar_nodes[v]->last_from, bitset_nodes[v]->last_from) << "node " << v;
+      ASSERT_EQ(scalar_nodes[v]->collisions_seen, bitset_nodes[v]->collisions_seen)
+          << "node " << v;
+      ASSERT_EQ(scalar_nodes[v]->woke_at, bitset_nodes[v]->woke_at) << "node " << v;
+    }
+  }
+};
+
+TEST(BitsetOracle, DenseGnpAllAwake) {
+  Rng grng(101);
+  const graph::Graph g = graph::make_gnp_connected(96, 0.2, grng);
+  EnginePair pair(g, 42, 0.3);
+  pair.wake_all();
+  for (int r = 0; r < 200; ++r) pair.step_and_compare();
+  EXPECT_GT(pair.scalar_net.trace().counters().deliveries, 0u);
+  EXPECT_GT(pair.scalar_net.trace().counters().collision_slots, 0u);
+}
+
+TEST(BitsetOracle, SparseBoundedDegreeAllAwake) {
+  Rng grng(7);
+  const graph::Graph g = graph::make_bounded_degree(200, 4, 0.5, grng);
+  EnginePair pair(g, 9001, 0.05);
+  pair.wake_all();
+  for (int r = 0; r < 300; ++r) pair.step_and_compare();
+  EXPECT_GT(pair.scalar_net.trace().counters().deliveries, 0u);
+}
+
+TEST(BitsetOracle, GeometricWakeOnFirstReception) {
+  Rng grng(31);
+  const graph::Graph g = graph::make_random_geometric(80, 0.25, grng);
+  EnginePair pair(g, 777, 0.25);
+  pair.scalar_net.wake_at_start(0);
+  pair.bitset_net.wake_at_start(0);
+  for (int r = 0; r < 400; ++r) pair.step_and_compare();
+  EXPECT_GT(pair.scalar_net.trace().counters().wakeups, 1u);
+}
+
+TEST(BitsetOracle, CollisionDetectionAblation) {
+  Rng grng(55);
+  const graph::Graph g = graph::make_gnp_connected(64, 0.25, grng);
+  EnginePair pair(g, 314, 0.35);
+  pair.scalar_net.enable_collision_detection(true);
+  pair.bitset_net.enable_collision_detection(true);
+  pair.scalar_net.wake_at_start(0);
+  pair.bitset_net.wake_at_start(0);
+  for (int r = 0; r < 250; ++r) pair.step_and_compare();
+  std::uint64_t cd_callbacks = 0;
+  for (const FloodNode* n : pair.scalar_nodes) cd_callbacks += n->collisions_seen;
+  EXPECT_GT(cd_callbacks, 0u);  // CD wakes + on_collision actually exercised
+}
+
+TEST(BitsetOracle, FaultErasuresConsumeIdenticalRngStream) {
+  // Faults force the exact sub-path: the erasure RNG is consumed one draw
+  // per successful slot in receiver-touch order, so identical fault_drops
+  // counters require the bitset engine to replay the scalar touch order.
+  Rng grng(13);
+  const graph::Graph g = graph::make_gnp_connected(72, 0.15, grng);
+  EnginePair pair(g, 2718, 0.2);
+  FaultModel fm;
+  fm.reception_loss_probability = 0.3;
+  fm.seed = 0xfa7155eedULL;
+  pair.scalar_net.set_fault_model(fm);
+  pair.bitset_net.set_fault_model(fm);
+  pair.wake_all();
+  for (int r = 0; r < 300; ++r) pair.step_and_compare();
+  EXPECT_GT(pair.scalar_net.trace().counters().fault_drops, 0u);
+}
+
+TEST(BitsetOracle, TraceEventLogsAreIdentical) {
+  Rng grng(23);
+  const graph::Graph g = graph::make_gnp_connected(48, 0.25, grng);
+  EnginePair pair(g, 123, 0.3);
+  pair.scalar_net.trace().enable_events(true);
+  pair.bitset_net.trace().enable_events(true);
+  pair.wake_all();
+  for (int r = 0; r < 120; ++r) pair.step_and_compare();
+
+  const auto& ea = pair.scalar_net.trace().events();
+  const auto& eb = pair.bitset_net.trace().events();
+  ASSERT_EQ(ea.size(), eb.size());
+  ASSERT_GT(ea.size(), 0u);
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    EXPECT_EQ(ea[i].round, eb[i].round);
+    EXPECT_EQ(ea[i].node, eb[i].node);
+    EXPECT_EQ(ea[i].kind, eb[i].kind);
+    EXPECT_EQ(ea[i].message_kind, eb[i].message_kind);
+    EXPECT_EQ(ea[i].from, eb[i].from);
+  }
+}
+
+/// Serialises every NetworkAuditHook callback into one string per event.
+/// Attaching it forces the bitset engine onto the exact sub-path, and the
+/// resulting log pins the complete callback stream — ordering included —
+/// against the scalar engine's. (ModelAuditor-level certification under
+/// the bitset engine lives in tests/audit/bitset_corpus_test.cpp, where
+/// the full k-broadcast run context it requires exists.)
+class RecordingHook final : public NetworkAuditHook {
+ public:
+  void on_sim_start(const std::vector<NodeId>& initially_awake) override {
+    std::uint64_t acc = 0;
+    for (const NodeId id : initially_awake) acc += id;
+    log_.push_back("start n=" + std::to_string(initially_awake.size()) +
+                   " sum=" + std::to_string(acc));
+  }
+  void on_transmissions(Round round, const std::vector<Message>& txs) override {
+    std::string entry = "tx r" + std::to_string(round) + ":";
+    for (const Message& m : txs) entry += " " + std::to_string(m.from);
+    log_.push_back(std::move(entry));
+  }
+  void on_deliver(Round round, NodeId receiver, std::uint32_t tx_index,
+                  const Message& msg) override {
+    log_.push_back("deliver r" + std::to_string(round) + " v" +
+                   std::to_string(receiver) + " tx" + std::to_string(tx_index) +
+                   " from" + std::to_string(msg.from));
+  }
+  void on_collision_slot(Round round, NodeId receiver, std::uint32_t reached,
+                         bool cd_callback) override {
+    log_.push_back("collision r" + std::to_string(round) + " v" +
+                   std::to_string(receiver) + " k" + std::to_string(reached) +
+                   (cd_callback ? " cd" : ""));
+  }
+  void on_deaf_slot(Round round, NodeId receiver, std::uint32_t reached) override {
+    log_.push_back("deaf r" + std::to_string(round) + " v" +
+                   std::to_string(receiver) + " k" + std::to_string(reached));
+  }
+  void on_fault_drop(Round round, NodeId receiver, std::uint32_t tx_index) override {
+    log_.push_back("drop r" + std::to_string(round) + " v" +
+                   std::to_string(receiver) + " tx" + std::to_string(tx_index));
+  }
+  void on_node_wake(Round round, NodeId node) override {
+    log_.push_back("wake r" + std::to_string(round) + " v" + std::to_string(node));
+  }
+  void on_round_end(Round round) override {
+    log_.push_back("end r" + std::to_string(round));
+  }
+
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  std::vector<std::string> log_;
+};
+
+TEST(BitsetOracle, AuditHookStreamsAreIdentical) {
+  // The strongest lock-step check: the full serialized callback stream —
+  // per-slot outcomes in receiver-touch order, transmission sets, wakes,
+  // round ends — must match entry for entry. An attached hook also forces
+  // the bitset engine's exact sub-path.
+  Rng grng(67);
+  const graph::Graph g = graph::make_random_geometric(60, 0.3, grng);
+  EnginePair pair(g, 5555, 0.25);
+  RecordingHook hook_a;
+  RecordingHook hook_b;
+  pair.scalar_net.set_auditor(&hook_a);
+  pair.bitset_net.set_auditor(&hook_b);
+  pair.scalar_net.wake_at_start(0);
+  pair.bitset_net.wake_at_start(0);
+  for (int r = 0; r < 200; ++r) pair.step_and_compare();
+
+  const auto& la = hook_a.log();
+  const auto& lb = hook_b.log();
+  ASSERT_GT(la.size(), 200u);
+  ASSERT_EQ(la.size(), lb.size());
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    ASSERT_EQ(la[i], lb[i]) << "audit stream diverged at entry " << i;
+  }
+}
+
+TEST(BitsetOracle, SeededMutationReplaysIdenticallyOnBothEngines) {
+  // A deliberate model violation (deliver on collision) must be replayed
+  // bit for bit by the bitset engine: the mutated callback stream differs
+  // from the clean one, but is identical across engines. This pins the
+  // exact sub-path under EngineMutations, which the corpus (mutation-free)
+  // cannot reach.
+  Rng grng(67);
+  const graph::Graph g = graph::make_gnp_connected(40, 0.3, grng);
+
+  auto run = [&](EngineMode mode, bool mutate) {
+    Network net(g);
+    net.set_engine(mode);
+    if (mutate) {
+      EngineMutations mut;
+      mut.deliver_on_collision = true;
+      net.set_test_mutations(mut);
+    }
+    RecordingHook hook;
+    net.set_auditor(&hook);
+    Rng master(31337);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      net.set_protocol(v, std::make_unique<FloodNode>(master.split(), 0.4));
+      net.wake_at_start(v);
+    }
+    for (int r = 0; r < 60; ++r) net.step();
+    return hook.log();
+  };
+
+  const std::vector<std::string> scalar_mut = run(EngineMode::kScalar, true);
+  const std::vector<std::string> bitset_mut = run(EngineMode::kBitset, true);
+  const std::vector<std::string> scalar_clean = run(EngineMode::kScalar, false);
+  ASSERT_NE(scalar_mut, scalar_clean) << "mutation had no observable effect";
+  EXPECT_EQ(scalar_mut, bitset_mut);
+}
+
+/// Packed source mirroring FloodNode-free fixed schedules: bit (round % 64)
+/// of each node's pattern word.
+class PatternSource final : public PackedTransmitSource {
+ public:
+  explicit PatternSource(const std::vector<std::uint64_t>& patterns) {
+    const std::size_t words = (patterns.size() + 63) / 64;
+    rows_.assign(64, std::vector<std::uint64_t>(words, 0));
+    for (std::size_t v = 0; v < patterns.size(); ++v) {
+      for (std::uint32_t p = 0; p < 64; ++p) {
+        if ((patterns[v] >> p) & 1) rows_[p][v >> 6] |= 1ULL << (v & 63);
+      }
+    }
+  }
+  void fill_transmit_words(Round round, std::uint64_t* words,
+                           std::size_t num_words) override {
+    const auto& row = rows_[round & 63];
+    for (std::size_t w = 0; w < num_words; ++w) {
+      words[w] = w < row.size() ? row[w] : 0;
+    }
+  }
+  MessageBody packed_body(Round /*round*/, NodeId /*from*/) override {
+    return AlarmMsg{};
+  }
+
+ private:
+  std::vector<std::vector<std::uint64_t>> rows_;
+};
+
+/// The protocol twin of PatternSource (the scalar engine and the contract's
+/// "must agree with on_transmit" clause both need it).
+class PatternNode final : public NodeProtocol {
+ public:
+  explicit PatternNode(std::uint64_t pattern) : pattern_(pattern) {}
+  std::optional<MessageBody> on_transmit(Round round) override {
+    if (((pattern_ >> (round & 63)) & 1) == 0) return std::nullopt;
+    return AlarmMsg{};
+  }
+  void on_receive(Round /*round*/, const Message& msg) override {
+    ++receives;
+    last_from = msg.from;
+  }
+  std::uint64_t receives = 0;
+  NodeId last_from = 0;
+
+ private:
+  std::uint64_t pattern_ = 0;
+};
+
+TEST(BitsetOracle, PackedSourceMatchesOnTransmitProtocols) {
+  Rng grng(99);
+  const graph::Graph g = graph::make_gnp_connected(150, 0.1, grng);
+  Rng prng(0xabcdef);
+  std::vector<std::uint64_t> patterns(g.num_nodes());
+  for (auto& p : patterns) p = prng();
+  PatternSource source(patterns);
+
+  Network scalar_net(g);
+  Network bitset_net(g);
+  bitset_net.set_engine(EngineMode::kBitset);
+  bitset_net.set_packed_source(&source);
+  std::vector<PatternNode*> a_nodes, b_nodes;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto a = std::make_unique<PatternNode>(patterns[v]);
+    auto b = std::make_unique<PatternNode>(patterns[v]);
+    a_nodes.push_back(a.get());
+    b_nodes.push_back(b.get());
+    scalar_net.set_protocol(v, std::move(a));
+    bitset_net.set_protocol(v, std::move(b));
+    scalar_net.wake_at_start(v);
+    bitset_net.wake_at_start(v);
+  }
+  for (int r = 0; r < 192; ++r) {
+    scalar_net.step();
+    bitset_net.step();
+    ASSERT_EQ(scalar_net.trace().counters(), bitset_net.trace().counters())
+        << "round " << r;
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(a_nodes[v]->receives, b_nodes[v]->receives) << "node " << v;
+    ASSERT_EQ(a_nodes[v]->last_from, b_nodes[v]->last_from) << "node " << v;
+  }
+  EXPECT_GT(scalar_net.trace().counters().deliveries, 0u);
+}
+
+TEST(BitsetOracle, EngineModeNamesRoundTrip) {
+  EXPECT_STREQ(engine_mode_name(EngineMode::kScalar), "scalar");
+  EXPECT_STREQ(engine_mode_name(EngineMode::kBitset), "bitset");
+  EXPECT_EQ(parse_engine_mode("scalar"), EngineMode::kScalar);
+  EXPECT_EQ(parse_engine_mode("bitset"), EngineMode::kBitset);
+  EXPECT_EQ(parse_engine_mode("vector"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace radiocast::radio
