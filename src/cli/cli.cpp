@@ -24,7 +24,7 @@ constexpr const char* kUsage = R"(radiocast — declarative experiment orchestra
 
 usage:
   radiocast run <spec.json> [--out DIR] [--seeds N] [--threads N]
-                [--engine scalar|bitset] [--audit] [--quiet]
+                [--shards N] [--engine scalar|bitset] [--audit] [--quiet]
                 [--require-delivery]
   radiocast trace <spec.json> [run options]
   radiocast report <results.json> [--out FILE]
@@ -61,7 +61,7 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err, bool trace_mode = false) {
   std::string spec_path, out_dir = ".";
   std::string engine_override;
-  int seeds_override = 0, threads_override = -1;
+  int seeds_override = 0, threads_override = -1, shards_override = -1;
   bool audit_override = false, quiet = false, require_delivery = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -75,6 +75,8 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
       seeds_override = std::stoi(next());
     } else if (a == "--threads") {
       threads_override = std::stoi(next());
+    } else if (a == "--shards") {
+      shards_override = std::stoi(next());
     } else if (a == "--engine") {
       engine_override = next();
     } else if (a == "--audit") {
@@ -96,6 +98,7 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out,
   exp::ScenarioSpec spec = exp::parse_scenario(read_file(spec_path));
   if (seeds_override > 0) spec.seeds = seeds_override;
   if (threads_override >= 0) spec.threads = threads_override;
+  if (shards_override >= 0) spec.shards = shards_override;
   if (audit_override) spec.audit = true;
   if (!engine_override.empty()) spec.engine = engine_override;
   if (trace_mode) {

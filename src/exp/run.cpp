@@ -65,8 +65,8 @@ JsonValue counters_json(const radio::TraceCounters& c) {
   return JsonValue(std::move(o));
 }
 
-/// Digest of everything a reproduction must match bit-for-bit: delivery
-/// outcome, all round counts, and the engine's channel counters.
+}  // namespace
+
 std::string digest_run(const core::RunResult& r) {
   JsonObject o;
   o.set("delivered_all", r.delivered_all);
@@ -82,6 +82,8 @@ std::string digest_run(const core::RunResult& r) {
   o.set("counters", counters_json(r.counters));
   return digest_json(JsonValue(std::move(o)));
 }
+
+namespace {
 
 std::string digest_dynamic(const core::DynamicRunResult& r) {
   JsonObject o;
@@ -137,6 +139,7 @@ JsonValue buckets_json(const obs::LogHistogram& h) {
 struct Builder {
   const ScenarioSpec& spec;
   int resolved_threads;
+  int resolved_shards;
 
   std::vector<std::string> columns = {};
   std::vector<JsonValue> rows = {};            // results rows
@@ -260,6 +263,7 @@ struct Builder {
     env.set("engine", spec.engine);
     env.set("simd", std::string(gf2::simd_kernel_name()));
     env.set("threads", static_cast<std::int64_t>(resolved_threads));
+    env.set("shards", static_cast<std::int64_t>(resolved_shards));
     env.set("timestamp_utc", "");  // filled by the CLI; excluded from digests
     env.set("elapsed_seconds", elapsed_seconds);
     env.set("dropped_trace_events", dropped_trace_events);
@@ -338,6 +342,7 @@ void run_kbroadcast_cells(Builder& b, const graph::Graph& g,
       sweep.collision_detection = cell.cd;
       sweep.engine = spec.engine == "bitset" ? radio::EngineMode::kBitset
                                              : radio::EngineMode::kScalar;
+      sweep.shards = b.resolved_shards;
       if (cell.loss > 0) {
         sweep.faults = [&spec, &cell](int t) {
           radio::FaultModel f;
@@ -685,7 +690,10 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec) {
   Builder b{.spec = spec,
             .resolved_threads = spec.threads > 0
                                     ? spec.threads
-                                    : core::montecarlo::threads_from_env()};
+                                    : core::montecarlo::threads_from_env(),
+            .resolved_shards = spec.shards > 0
+                                   ? spec.shards
+                                   : core::montecarlo::shards_from_env()};
   if (spec.mode == "dynamic") {
     run_dynamic_cells(b, g, know);
   } else {

@@ -18,10 +18,18 @@
 #include <string>
 #include <vector>
 
+#include "core/runner.hpp"
 #include "exp/jsonval.hpp"
 #include "exp/scenario.hpp"
 
 namespace radiocast::exp {
+
+/// Digest of everything a reproduction of one trial must match
+/// bit-for-bit: delivery outcome, all round counts, and the engine's
+/// channel counters. These are the per-trial digests pinned in manifests;
+/// public so invariance tests (engine modes, shard counts) can compare
+/// fresh runs against pinned literals.
+std::string digest_run(const core::RunResult& r);
 
 /// Everything one scenario execution produced.
 struct ScenarioOutcome {

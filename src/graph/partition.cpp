@@ -1,0 +1,82 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+namespace radiocast::graph {
+
+std::uint32_t ShardPlan::shard_of(NodeId v) const {
+  RC_DCHECK(num_shards() > 0 && v < bounds_.back());
+  std::uint32_t s = 0;
+  while (v >= bounds_[s + 1]) ++s;
+  return s;
+}
+
+ShardPlan ShardPlan::build(const Graph& g, std::uint32_t shards,
+                           std::uint32_t alignment) {
+  RC_ASSERT_MSG(g.finalized(), "ShardPlan requires a finalized graph");
+  RC_ASSERT(shards >= 1 && alignment >= 1);
+  const NodeId n = g.num_nodes();
+  const std::uint64_t total_edges = 2 * static_cast<std::uint64_t>(g.num_edges());
+  RC_ASSERT_MSG(total_edges <= 0xffffffffull,
+                "ShardPlan row splits use uint32 edge indices");
+
+  ShardPlan p;
+  p.alignment_ = alignment;
+  const std::uint64_t num_blocks =
+      n == 0 ? 0 : (static_cast<std::uint64_t>(n) + alignment - 1) / alignment;
+  const auto s_eff = static_cast<std::uint32_t>(
+      num_blocks == 0 ? 1 : std::min<std::uint64_t>(shards, num_blocks));
+
+  // Greedy edge-balanced boundary placement over alignment blocks, with a
+  // one-block-per-remaining-shard floor so every shard stays nonempty: a
+  // shard keeps taking blocks while its cumulative edge prefix is below
+  // its proportional target, unless stopping is forced to leave one block
+  // for each shard still to come.
+  p.bounds_.reserve(s_eff + 1);
+  p.bounds_.push_back(0);
+  const std::size_t* const offsets = n > 0 ? g.csr_offsets() : nullptr;
+  for (std::uint32_t s = 0; s + 1 < s_eff; ++s) {
+    const std::uint64_t target = total_edges * (s + 1) / s_eff;
+    NodeId next = p.bounds_.back();
+    while (true) {
+      next = static_cast<NodeId>(
+          std::min<std::uint64_t>(static_cast<std::uint64_t>(next) + alignment, n));
+      if (next >= n) break;
+      const std::uint64_t blocks_left =
+          (static_cast<std::uint64_t>(n) - next + alignment - 1) / alignment;
+      if (blocks_left <= s_eff - (s + 1)) break;
+      if (offsets[next] >= target) break;
+    }
+    p.bounds_.push_back(next);
+  }
+  p.bounds_.push_back(n);
+
+  // Row-splits table + cut-edge count in one sweep. Rows are sorted, so a
+  // single cursor per row finds every shard boundary in O(deg + S).
+  const std::uint32_t S = p.num_shards();
+  p.splits_.resize(static_cast<std::size_t>(n) * (S + 1));
+  if (n > 0) {
+    const NodeId* const targets = g.csr_targets();
+    std::uint32_t* out = p.splits_.data();
+    std::uint64_t own_edges = 0;
+    std::uint32_t owner = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      while (u >= p.bounds_[owner + 1]) ++owner;
+      const std::size_t row_end = offsets[u + 1];
+      std::size_t e = offsets[u];
+      // out[s] = first entry with target >= bounds_[s] — the start of the
+      // shard-s slice, since entries below it all target shards < s.
+      for (std::uint32_t s = 0; s < S; ++s) {
+        while (e < row_end && targets[e] < p.bounds_[s]) ++e;
+        out[s] = static_cast<std::uint32_t>(e);
+      }
+      out[S] = static_cast<std::uint32_t>(row_end);
+      own_edges += out[owner + 1] - out[owner];
+      out += S + 1;
+    }
+    p.cut_edges_ = total_edges - own_edges;
+  }
+  return p;
+}
+
+}  // namespace radiocast::graph

@@ -1,0 +1,91 @@
+// Contiguous node sharding of a finalized CSR graph, for intra-run
+// parallel reception sweeps (radio::Network::set_shards).
+//
+// A ShardPlan cuts [0, n) into S contiguous id ranges, balanced by CSR
+// edge count (each shard's reception work is proportional to the directed
+// edges *into* its nodes, which for an undirected CSR equals the edges out
+// of them). Boundaries snap to multiples of `alignment`: the bitset engine
+// shards at 64 so that the packed once/twice words of different shards
+// never share a 64-bit word (a word-granular read-modify-write across
+// shards would be a data race); the scalar engine shards at 1.
+//
+// Because CSR rows are sorted ascending and shards are contiguous id
+// ranges, the entries of row u that target shard s form one contiguous
+// slice of the row. The plan precomputes every such slice boundary into a
+// row-splits table — splits(u, s) is the first edge index of row u's
+// shard-s slice — so a sharded sweep walks exactly its own receivers with
+// O(1) per-row lookup. The off-diagonal slices (shard_of(u) != s) are
+// precisely the cut edges, each indexed once on each side; the table
+// therefore doubles as the cut-edge index, and num_cut_edges() reports the
+// directed crossing count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "graph/graph.hpp"
+
+namespace radiocast::graph {
+
+class ShardPlan {
+ public:
+  ShardPlan() = default;
+
+  /// Builds a plan with at most `shards` shards over `g` (finalized).
+  /// The effective shard count is clamped so every shard holds at least
+  /// one alignment block of nodes (so all shards are nonempty unless
+  /// n == 0, where a single empty shard remains); requesting more shards
+  /// than blocks degrades gracefully instead of manufacturing empty tail
+  /// shards. Requires 2m to fit an uint32 edge index.
+  static ShardPlan build(const Graph& g, std::uint32_t shards,
+                         std::uint32_t alignment = 1);
+
+  /// Number of shards actually built (>= 1 after build; 0 when default-
+  /// constructed).
+  std::uint32_t num_shards() const {
+    return bounds_.empty() ? 0 : static_cast<std::uint32_t>(bounds_.size() - 1);
+  }
+  std::uint32_t alignment() const { return alignment_; }
+
+  /// Shard s owns node ids [node_begin(s), node_end(s)).
+  NodeId node_begin(std::uint32_t s) const {
+    RC_DCHECK(s < num_shards());
+    return bounds_[s];
+  }
+  NodeId node_end(std::uint32_t s) const {
+    RC_DCHECK(s < num_shards());
+    return bounds_[s + 1];
+  }
+
+  /// The shard owning node v. O(S) scan — S is small and this is not on
+  /// the round hot path (sweeps use the precomputed splits instead).
+  std::uint32_t shard_of(NodeId v) const;
+
+  /// First CSR edge index of row u's slice targeting shard s; the slice
+  /// [row_split(u, s), row_split(u, s + 1)) is contiguous because CSR rows
+  /// are sorted and shards are contiguous id ranges. row_split(u, 0) is
+  /// the row start and row_split(u, S) the row end.
+  std::uint32_t row_split(NodeId u, std::uint32_t s) const {
+    RC_DCHECK(u * (static_cast<std::size_t>(num_shards()) + 1) + s < splits_.size() + 1);
+    return splits_[u * (static_cast<std::size_t>(num_shards()) + 1) + s];
+  }
+
+  /// Raw splits table for hot loops: row u's boundaries live at
+  /// splits_data()[u * (num_shards() + 1) + s].
+  const std::uint32_t* splits_data() const { return splits_.data(); }
+
+  /// Directed CSR entries (u -> v) with shard_of(u) != shard_of(v). Every
+  /// undirected cut edge contributes exactly two (one per side).
+  std::uint64_t num_cut_edges() const { return cut_edges_; }
+
+ private:
+  /// S + 1 ascending node-id boundaries; shard s is [bounds_[s], bounds_[s+1]).
+  std::vector<NodeId> bounds_;
+  /// n * (S + 1) absolute CSR edge indices (see row_split).
+  std::vector<std::uint32_t> splits_;
+  std::uint64_t cut_edges_ = 0;
+  std::uint32_t alignment_ = 1;
+};
+
+}  // namespace radiocast::graph

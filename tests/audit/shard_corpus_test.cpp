@@ -1,0 +1,111 @@
+// Shard-count invariance over the pinned audit corpus: every corpus case
+// must clear the full audit gate (zero violations, delivery, audited ==
+// unaudited) at every shard count, and — the invariance half — produce
+// results field-identical and digest-identical to the single-shard scalar
+// reference. The per-trial digest (exp::digest_run) is the same value the
+// experiment manifests pin, so this test certifies that `shards`, like
+// `threads`, is a pure execution knob that can never perturb a recorded
+// result.
+//
+// The pinned corpus (n = 20–40) genuinely shards the scalar engine
+// (alignment 1) but collapses to one shard under the bitset engine's
+// 64-node alignment; the scaled local cases at the bottom (n = 256) exist
+// so the bitset sharded sweeps also run under a full ModelAuditor.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "audit/corpus.hpp"
+#include "exp/run.hpp"
+#include "radio/network.hpp"
+
+namespace radiocast::audit {
+namespace {
+
+const std::uint32_t kShardCounts[] = {2, 4};
+const radio::EngineMode kEngines[] = {radio::EngineMode::kScalar,
+                                      radio::EngineMode::kBitset};
+
+/// Runs one case at one (engine, shards) point and checks the full audit
+/// gate plus invariance against a precomputed reference outcome.
+void check_case(const CorpusCase& c, radio::EngineMode engine,
+                std::uint32_t shards, const CorpusOutcome& reference,
+                const std::string& reference_digest) {
+  SCOPED_TRACE(c.name + " engine=" + radio::engine_mode_name(engine) +
+               " shards=" + std::to_string(shards));
+  const CorpusOutcome out = run_corpus_case(c, engine, shards);
+  EXPECT_TRUE(out.delivered) << "audited run failed to deliver";
+  EXPECT_TRUE(out.report.clean())
+      << out.report.total() << " violations; first: "
+      << out.report.violations().front().check << " — "
+      << out.report.violations().front().detail;
+  EXPECT_TRUE(out.bit_identical)
+      << "audited and unaudited runs diverged under sharding";
+  EXPECT_TRUE(results_identical(out.audited, reference.audited))
+      << "sharded result diverged from the single-shard scalar reference";
+  EXPECT_EQ(exp::digest_run(out.audited), reference_digest)
+      << "per-trial digest diverged — a manifest pinned at shards=1 would "
+         "not reproduce";
+}
+
+TEST(ShardCorpus, EveryPinnedCaseIsShardCountInvariant) {
+  for (const CorpusCase& c : pinned_corpus()) {
+    SCOPED_TRACE(c.name);
+    // The reference is the engine+shards combination every historical
+    // manifest digest was produced by: scalar, single shard.
+    const CorpusOutcome reference = run_corpus_case(c);
+    ASSERT_TRUE(reference.report.clean());
+    const std::string reference_digest = exp::digest_run(reference.audited);
+    for (const radio::EngineMode engine : kEngines) {
+      for (const std::uint32_t shards : kShardCounts) {
+        check_case(c, engine, shards, reference, reference_digest);
+      }
+    }
+  }
+}
+
+TEST(ShardCorpus, ScaledCasesShardTheBitsetEngineForReal) {
+  // n = 256 clears the bitset engine's 64-node shard alignment by a wide
+  // margin, so these runs execute the sharded bitset sweeps (exact scatter
+  // under the auditor) with multiple nonempty shards rather than
+  // degrading to one.
+  const CorpusCase scaled_cases[] = {
+      {.name = "scaled_gnp_lossless",
+       .family = "gnp",
+       .n = 256,
+       .k = 3,
+       .placement = core::PlacementMode::kSpreadEven,
+       .loss = 0.0,
+       .collision_detection = false,
+       .coded = true,
+       .graph_seed = 0x51a11,
+       .placement_seed = 0x51a12,
+       .run_seed = 0x51a13},
+      {.name = "scaled_bounded_degree_lossy_cd",
+       .family = "bounded_degree",
+       .n = 256,
+       .k = 2,
+       .placement = core::PlacementMode::kRandom,
+       .loss = 0.03,
+       .collision_detection = true,
+       .coded = true,
+       .graph_seed = 0x51a21,
+       .placement_seed = 0x51a22,
+       .run_seed = 0x51a23},
+  };
+  for (const CorpusCase& c : scaled_cases) {
+    SCOPED_TRACE(c.name);
+    const CorpusOutcome reference = run_corpus_case(c);
+    ASSERT_TRUE(reference.report.clean());
+    ASSERT_TRUE(reference.delivered);
+    const std::string reference_digest = exp::digest_run(reference.audited);
+    for (const std::uint32_t shards : {2u, 4u}) {
+      check_case(c, radio::EngineMode::kBitset, shards, reference,
+                 reference_digest);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::audit

@@ -1,0 +1,169 @@
+// Property tests for the contiguous node-range shard partitioner
+// (graph::ShardPlan). The sharded round engines lean on three structural
+// guarantees checked here: every node lands in exactly one shard (the
+// ranges tile [0, n) with no gaps or overlaps), every CSR row is sliced
+// into per-shard sub-ranges whose concatenation reproduces the row, and
+// every cut edge is indexed exactly once per side (the off-diagonal slice
+// entries). Degenerate shapes — empty graphs, more shards than nodes,
+// a single clique — must produce valid (possibly empty) plans, never UB.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+
+namespace radiocast::graph {
+namespace {
+
+const std::uint32_t kShardCounts[] = {1, 2, 4, 7, 16};
+const std::uint32_t kAlignments[] = {1, 64};
+
+/// Cross-checks every structural invariant of a plan against the graph.
+void check_plan(const Graph& g, const ShardPlan& plan, std::uint32_t requested,
+                std::uint32_t alignment) {
+  const std::uint32_t s_count = plan.num_shards();
+  ASSERT_GE(s_count, 1u);
+  ASSERT_LE(s_count, requested);
+  EXPECT_EQ(plan.alignment(), alignment);
+
+  // Ranges tile [0, n): ascending bounds, first at 0, last at n, and —
+  // except for the n=0 degenerate — every shard nonempty.
+  EXPECT_EQ(plan.node_begin(0), 0u);
+  EXPECT_EQ(plan.node_end(s_count - 1), g.num_nodes());
+  for (std::uint32_t s = 0; s < s_count; ++s) {
+    EXPECT_LE(plan.node_begin(s), plan.node_end(s));
+    if (s + 1 < s_count) EXPECT_EQ(plan.node_end(s), plan.node_begin(s + 1));
+    if (g.num_nodes() > 0) EXPECT_LT(plan.node_begin(s), plan.node_end(s));
+    // Interior boundaries respect the alignment grid (the last boundary is
+    // n itself, which need not be a multiple).
+    if (s > 0) EXPECT_EQ(plan.node_begin(s) % alignment, 0u);
+  }
+
+  // shard_of agrees with the ranges — so each node is in exactly one shard.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::uint32_t s = plan.shard_of(v);
+    ASSERT_LT(s, s_count);
+    EXPECT_GE(v, plan.node_begin(s));
+    EXPECT_LT(v, plan.node_end(s));
+  }
+
+  if (!g.finalized() || g.num_nodes() == 0) return;
+
+  // Row slices: for every row u, the per-shard split cursors are
+  // monotone, cover the row exactly, and slice s holds precisely the
+  // neighbors that live in shard s (so concatenating the slices in shard
+  // order reproduces the sorted row, and each edge endpoint is indexed in
+  // exactly one slice).
+  const std::size_t* offsets = g.csr_offsets();
+  const NodeId* targets = g.csr_targets();
+  std::size_t off_diagonal = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_EQ(plan.row_split(u, 0), offsets[u]);
+    ASSERT_EQ(plan.row_split(u, s_count), offsets[u + 1]);
+    const std::uint32_t home = plan.shard_of(u);
+    for (std::uint32_t s = 0; s < s_count; ++s) {
+      const std::size_t lo = plan.row_split(u, s);
+      const std::size_t hi = plan.row_split(u, s + 1);
+      ASSERT_LE(lo, hi);
+      for (std::size_t e = lo; e < hi; ++e) {
+        EXPECT_EQ(plan.shard_of(targets[e]), s)
+            << "row " << u << " slice " << s << " holds neighbor "
+            << targets[e];
+      }
+      if (s != home) off_diagonal += hi - lo;
+    }
+  }
+
+  // Cut-edge accounting: brute-force count of edges whose endpoints land
+  // in different shards must equal the plan's tally, and the off-diagonal
+  // slice entries must be exactly one per side per cut edge.
+  std::size_t brute_cut = 0;
+  for (const auto& [u, v] : g.edges()) {
+    if (plan.shard_of(u) != plan.shard_of(v)) ++brute_cut;
+  }
+  EXPECT_EQ(plan.num_cut_edges(), 2 * brute_cut);  // once per side
+  EXPECT_EQ(off_diagonal, 2 * brute_cut);
+}
+
+TEST(ShardPlan, PropertiesHoldAcrossFamiliesShardCountsAndAlignments) {
+  Rng rng(0x5eed5);
+  std::vector<Graph> graphs;
+  graphs.push_back(make_gnp_connected(96, 0.08, rng));
+  graphs.push_back(make_bounded_degree(200, 6, 0.7, rng));
+  graphs.push_back(make_grid(12, 11));
+  graphs.push_back(make_path(40));
+  graphs.push_back(make_star(33));
+  for (const Graph& g : graphs) {
+    for (std::uint32_t s : kShardCounts) {
+      for (std::uint32_t a : kAlignments) {
+        check_plan(g, ShardPlan::build(g, s, a), s, a);
+      }
+    }
+  }
+}
+
+TEST(ShardPlan, EdgeBalancedBoundariesOnSkewedDegrees) {
+  // A star concentrates all edges on node 0; the greedy edge-balanced
+  // boundary must still produce nonempty shards covering [0, n).
+  const Graph g = make_star(257);
+  const ShardPlan plan = ShardPlan::build(g, 4, 1);
+  check_plan(g, plan, 4, 1);
+  EXPECT_EQ(plan.num_shards(), 4u);
+}
+
+TEST(ShardPlan, EmptyGraphYieldsSingleEmptyShard) {
+  Graph g(0);
+  g.finalize();
+  const ShardPlan plan = ShardPlan::build(g, 8, 64);
+  EXPECT_EQ(plan.num_shards(), 1u);
+  EXPECT_EQ(plan.node_begin(0), 0u);
+  EXPECT_EQ(plan.node_end(0), 0u);
+  EXPECT_EQ(plan.num_cut_edges(), 0u);
+}
+
+TEST(ShardPlan, MoreShardsThanNodesClampsToNodeCount) {
+  const Graph g = make_path(5);
+  const ShardPlan plan = ShardPlan::build(g, 16, 1);
+  EXPECT_EQ(plan.num_shards(), 5u);  // one node per shard, all nonempty
+  check_plan(g, plan, 16, 1);
+}
+
+TEST(ShardPlan, MoreShardsThanAlignmentBlocksClampsToBlockCount) {
+  // 100 nodes at alignment 64 → two blocks → at most two shards.
+  Rng rng(11);
+  const Graph g = make_gnp_connected(100, 0.1, rng);
+  const ShardPlan plan = ShardPlan::build(g, 7, 64);
+  EXPECT_EQ(plan.num_shards(), 2u);
+  check_plan(g, plan, 7, 64);
+}
+
+TEST(ShardPlan, SingleCliqueAllEdgesBecomeCutEdgesUnderManyShards) {
+  const Graph g = make_cluster_chain(1, 12);  // one K12
+  const ShardPlan plan = ShardPlan::build(g, 4, 1);
+  check_plan(g, plan, 4, 1);
+  // A clique split into >1 shards must expose cut edges.
+  EXPECT_GT(plan.num_cut_edges(), 0u);
+}
+
+TEST(ShardPlan, SingleShardHasNoCutEdges) {
+  Rng rng(3);
+  const Graph g = make_gnp_connected(64, 0.1, rng);
+  const ShardPlan plan = ShardPlan::build(g, 1, 64);
+  EXPECT_EQ(plan.num_shards(), 1u);
+  EXPECT_EQ(plan.num_cut_edges(), 0u);
+  check_plan(g, plan, 1, 64);
+}
+
+TEST(ShardPlan, DefaultConstructedPlanIsEmpty) {
+  const ShardPlan plan;
+  EXPECT_EQ(plan.num_shards(), 0u);
+}
+
+}  // namespace
+}  // namespace radiocast::graph
