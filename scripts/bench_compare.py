@@ -33,10 +33,12 @@ import pathlib
 import sys
 
 # Columns derived from wall/CPU time: tolerance applies, higher is better.
-THROUGHPUT_COLUMNS = {"rounds_per_sec"}
+THROUGHPUT_COLUMNS = {"rounds_per_sec", "ops_per_sec"}
 
-# Columns that are time-derived but not gated (purely informational).
-INFORMATIONAL_COLUMNS: set[str] = set()
+# Columns that are time-derived but not gated (purely informational):
+# mib_per_sec is ops_per_sec restated in bandwidth units, so gating it too
+# would double-count the same measurement.
+INFORMATIONAL_COLUMNS: set[str] = {"mib_per_sec"}
 
 
 def load_report(path: pathlib.Path) -> dict:

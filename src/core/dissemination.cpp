@@ -9,12 +9,17 @@
 namespace radiocast::core {
 
 gf2::Payload packet_wire_image(const radio::Packet& packet) {
-  gf2::Payload wire(8 + packet.payload.size());
-  for (int b = 0; b < 8; ++b) {
-    wire[b] = static_cast<std::uint8_t>((packet.id >> (8 * b)) & 0xff);
-  }
-  std::copy(packet.payload.begin(), packet.payload.end(), wire.begin() + 8);
+  gf2::Payload wire;
+  packet_wire_image_into(packet, wire);
   return wire;
+}
+
+void packet_wire_image_into(const radio::Packet& packet, gf2::Payload& out) {
+  out.resize(8 + packet.payload.size());
+  for (int b = 0; b < 8; ++b) {
+    out[b] = static_cast<std::uint8_t>((packet.id >> (8 * b)) & 0xff);
+  }
+  std::copy(packet.payload.begin(), packet.payload.end(), out.begin() + 8);
 }
 
 namespace {
@@ -105,11 +110,16 @@ DisseminationState::GroupState& DisseminationState::group(std::uint32_t group_id
 
 void DisseminationState::maybe_finish_group(GroupState& gs) {
   if (gs.complete || !gs.decoder.has_value() || !gs.decoder->complete()) return;
+  // Drain the decoder by move (the basis buffers become the wire images
+  // here — no copies) and hand the spent wires back to the arena once the
+  // packets are parsed out of them.
+  std::vector<gf2::Payload> wires = gs.decoder->take_packets();
   gs.packets.clear();
   gs.packets.reserve(gs.size);
-  for (const gf2::Payload& wire : gs.decoder->packets()) {
+  for (const gf2::Payload& wire : wires) {
     gs.packets.push_back(packet_from_wire_image(wire));
   }
+  if (arena_ != nullptr) arena_->recycle_all(std::move(wires));
   gs.decoder.reset();
   gs.complete = true;
   refresh_complete();
@@ -194,14 +204,20 @@ std::optional<radio::MessageBody> DisseminationState::on_transmit(
       for (const radio::Packet& p : gs.packets) wires.push_back(packet_wire_image(p));
       gs.encoder.emplace(std::move(wires));
     }
-    const gf2::BitVec coeffs = gf2::BitVec::random(gs.size, *rng_);
     radio::CodedMsg msg;
     msg.group_id = static_cast<std::uint32_t>(j);
     msg.group_count = group_count_;
     msg.group_size = gs.size;
-    msg.coeffs = coeffs.to_word();
     msg.payload = arena_ != nullptr ? arena_->acquire() : gf2::Payload();
-    gs.encoder->encode_into(coeffs, msg.payload);
+    if (gs.size <= 64) {
+      // Packed fast path: the subset draw and encoded bytes are identical
+      // to the BitVec route below, without materializing the BitVec.
+      msg.coeffs = gs.encoder->encode_random_word_into(*rng_, msg.payload);
+    } else {
+      const gf2::BitVec coeffs = gf2::BitVec::random(gs.size, *rng_);
+      msg.coeffs = coeffs.to_word();
+      gs.encoder->encode_into(coeffs, msg.payload);
+    }
     return msg;
   }
 
@@ -226,10 +242,19 @@ void DisseminationState::on_receive(std::uint64_t /*rel_round*/,
     GroupState& gs = group(plain->group_id, plain->group_size);
     if (gs.complete) return;
     ++rows_received_;
-    gf2::CodedRow row;
-    row.coeffs = gf2::BitVec::unit(gs.size, plain->index_in_group);
-    row.payload = packet_wire_image(plain->packet);
-    if (!gs.decoder->add_row(std::move(row))) ++redundant_rows_;
+    if (gs.size <= 64) {
+      gf2::Payload wire = arena_ != nullptr ? arena_->acquire() : gf2::Payload();
+      packet_wire_image_into(plain->packet, wire);
+      if (!gs.decoder->add_row_packed(1ULL << plain->index_in_group, wire)) {
+        ++redundant_rows_;
+        if (arena_ != nullptr) arena_->recycle(std::move(wire));
+      }
+    } else {
+      gf2::CodedRow row;
+      row.coeffs = gf2::BitVec::unit(gs.size, plain->index_in_group);
+      row.payload = packet_wire_image(plain->packet);
+      if (!gs.decoder->add_row(std::move(row))) ++redundant_rows_;
+    }
     maybe_finish_group(gs);
     return;
   }
@@ -240,10 +265,22 @@ void DisseminationState::on_receive(std::uint64_t /*rel_round*/,
     GroupState& gs = group(coded->group_id, coded->group_size);
     if (gs.complete) return;
     ++rows_received_;
-    gf2::CodedRow row;
-    row.coeffs = gf2::BitVec::from_word(gs.size, coded->coeffs);
-    row.payload = coded->payload;
-    if (!gs.decoder->add_row(std::move(row))) ++redundant_rows_;
+    if (gs.size <= 64) {
+      // Same low-`size`-bits view BitVec::from_word takes of the header.
+      const std::uint64_t mask =
+          gs.size == 64 ? ~0ULL : (1ULL << gs.size) - 1;
+      gf2::Payload buf = arena_ != nullptr ? arena_->acquire_copy(coded->payload)
+                                           : coded->payload;
+      if (!gs.decoder->add_row_packed(coded->coeffs & mask, buf)) {
+        ++redundant_rows_;
+        if (arena_ != nullptr) arena_->recycle(std::move(buf));
+      }
+    } else {
+      gf2::CodedRow row;
+      row.coeffs = gf2::BitVec::from_word(gs.size, coded->coeffs);
+      row.payload = coded->payload;
+      if (!gs.decoder->add_row(std::move(row))) ++redundant_rows_;
+    }
     maybe_finish_group(gs);
     return;
   }

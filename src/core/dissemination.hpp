@@ -42,6 +42,9 @@ namespace radiocast::core {
 
 /// Serializes a packet into its coding wire image (id || payload).
 gf2::Payload packet_wire_image(const radio::Packet& packet);
+/// Same image built into a caller-provided buffer (fully overwritten, so
+/// `out` may carry recycled capacity from a radio::PayloadArena).
+void packet_wire_image_into(const radio::Packet& packet, gf2::Payload& out);
 /// Parses a wire image back into a packet.
 radio::Packet packet_from_wire_image(const gf2::Payload& wire);
 

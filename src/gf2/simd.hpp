@@ -22,6 +22,27 @@ namespace radiocast::gf2 {
 /// because XOR is bytewise. Regions must not partially overlap.
 void xor_bytes(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
 
+/// dst[0..n) = a[0..n) ^ b[0..n): the out-of-place variant, one fused pass
+/// instead of copy-then-xor_bytes. Used by the table encoder's chunk-table
+/// construction (entry = parent entry ^ packet). `dst` must not partially
+/// overlap either source; dst == a or dst == b is allowed (degenerates to
+/// the in-place kernel's access pattern).
+void xor_bytes_to(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+                  std::size_t n);
+
+/// dst[0..n) ^= a[0..n) ^ b[0..n): dual-source accumulate, one pass over
+/// `dst` per two sources. The packed decoder uses it to halve the memory
+/// traffic of a row's pivot-absorption chain (XOR is commutative and
+/// associative, so pairing absorptions is byte-exact). `dst` must not
+/// partially overlap either source.
+void xor_accum2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+                std::size_t n);
+
+/// dst[0..n) ^= a ^ b ^ c ^ d: quad-source accumulate, one pass over `dst`
+/// per four sources. Same contract as xor_accum2.
+void xor_accum4(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+                const std::uint8_t* c, const std::uint8_t* d, std::size_t n);
+
 /// Word-array convenience wrapper over xor_bytes.
 inline void xor_words(std::uint64_t* dst, const std::uint64_t* src, std::size_t n_words) {
   xor_bytes(reinterpret_cast<std::uint8_t*>(dst),

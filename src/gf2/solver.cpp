@@ -1,5 +1,6 @@
 #include "gf2/solver.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <utility>
@@ -14,13 +15,29 @@ void xor_into(Payload& dst, const Payload& src) {
   xor_bytes(dst.data(), src.data(), src.size());
 }
 
-IncrementalDecoder::IncrementalDecoder(std::size_t width)
-    : width_(width), basis_(width), has_pivot_(width, false) {
+void xor_payloads(Payload& dst, const Payload& a, const Payload& b) {
+  const Payload& longer = a.size() >= b.size() ? a : b;
+  const Payload& shorter = a.size() >= b.size() ? b : a;
+  dst.resize(longer.size());
+  xor_bytes_to(dst.data(), longer.data(), shorter.data(), shorter.size());
+  std::copy(longer.begin() + static_cast<std::ptrdiff_t>(shorter.size()), longer.end(),
+            dst.begin() + static_cast<std::ptrdiff_t>(shorter.size()));
+}
+
+IncrementalDecoder::IncrementalDecoder(std::size_t width) : width_(width) {
   RC_ASSERT(width > 0);
+  if (packed()) {
+    mask_basis_.assign(width, 0);
+    mask_payload_.resize(width);
+  } else {
+    basis_.resize(width);
+    has_pivot_.assign(width, false);
+  }
 }
 
 bool IncrementalDecoder::add_row(CodedRow row) {
   RC_ASSERT(row.coeffs.size() == width_);
+  if (packed()) return add_row_packed(row.coeffs.to_word(), row.payload);
   ++rows_seen_;
   // Reduce against existing pivots until the row is zero or introduces a
   // new pivot.
@@ -42,23 +59,103 @@ bool IncrementalDecoder::add_row(CodedRow row) {
   }
 }
 
+bool IncrementalDecoder::add_row_packed(std::uint64_t coeffs, Payload& payload) {
+  RC_ASSERT(packed());
+  RC_ASSERT(width_ == 64 || (coeffs >> width_) == 0);
+  ++rows_seen_;
+  // Mask-only reduction first: record which pivots get absorbed instead of
+  // XORing payload bytes inside the loop. Redundancy is then decided
+  // without touching the payload at all, and an innovative row applies its
+  // absorptions pairwise with the dual-source kernel (XOR commutes, so the
+  // regrouping is byte-exact). Each pivot is absorbed at most once — the
+  // mask's lowest set bit strictly increases through the reduction — so a
+  // bitmask captures the chain losslessly.
+  std::uint64_t absorbed = 0;
+  std::uint64_t reduced = 0;
+  const std::size_t pivot = reduce_pivot_mask(
+      coeffs, mask_basis_.data(), [&](std::size_t p) { absorbed |= 1ULL << p; },
+      &reduced);
+  if (pivot == kNoPivot) {
+    ++redundant_rows_;
+    return false;  // payload untouched; the caller keeps/recycles the buffer
+  }
+  if (absorbed != 0) absorb_payloads(payload, absorbed);
+  mask_basis_[pivot] = reduced;
+  mask_payload_[pivot] = std::move(payload);
+  ++rank_;
+  solved_ = false;
+  return true;
+}
+
+void IncrementalDecoder::absorb_payloads(Payload& payload, std::uint64_t absorbed) {
+  // Grow once to the longest operand (the same zero-extension xor_into
+  // applies progressively), then sweep the sources four / two at a time —
+  // one pass over `payload` per batch instead of one per source.
+  const Payload* srcs[64];
+  std::size_t k = 0;
+  std::size_t maxlen = payload.size();
+  for (std::uint64_t m = absorbed; m != 0; m &= m - 1) {
+    const Payload& p = mask_payload_[std::countr_zero(m)];
+    srcs[k++] = &p;
+    maxlen = std::max(maxlen, p.size());
+  }
+  payload.resize(maxlen, 0);
+  std::size_t i = 0;
+  // Quad sweeps while the next four sources share one length — the common
+  // case, since payloads in a group converge to the group's max size.
+  while (i + 4 <= k && srcs[i]->size() == srcs[i + 1]->size() &&
+         srcs[i]->size() == srcs[i + 2]->size() &&
+         srcs[i]->size() == srcs[i + 3]->size()) {
+    xor_accum4(payload.data(), srcs[i]->data(), srcs[i + 1]->data(),
+               srcs[i + 2]->data(), srcs[i + 3]->data(), srcs[i]->size());
+    i += 4;
+  }
+  for (; i + 2 <= k; i += 2) {
+    const Payload& a = *srcs[i];
+    const Payload& b = *srcs[i + 1];
+    const std::size_t common = std::min(a.size(), b.size());
+    xor_accum2(payload.data(), a.data(), b.data(), common);
+    const Payload& longer = a.size() >= b.size() ? a : b;
+    xor_bytes(payload.data() + common, longer.data() + common, longer.size() - common);
+  }
+  if (i < k) xor_bytes(payload.data(), srcs[i]->data(), srcs[i]->size());
+}
+
 void IncrementalDecoder::back_substitute() {
   RC_ASSERT_MSG(complete(), "decoder is not full rank yet");
   // Eliminate upwards so each basis row becomes a unit vector; the payload
-  // of row c is then exactly packet c.
-  for (std::size_t c = width_; c-- > 0;) {
-    for (std::size_t r = 0; r < c; ++r) {
-      if (basis_[r].coeffs.get(c)) {
-        basis_[r].coeffs ^= basis_[c].coeffs;
-        xor_into(basis_[r].payload, basis_[c].payload);
-      }
-    }
-  }
+  // of row c is then exactly packet c. The decoded payloads are MOVED out
+  // of the basis (no copies); the unit masks stay behind so a late
+  // redundant add_row still reduces to zero against them.
   decoded_.clear();
   decoded_.reserve(width_);
-  for (std::size_t c = 0; c < width_; ++c) {
-    RC_ASSERT(basis_[c].coeffs.popcount() == 1 && basis_[c].coeffs.get(c));
-    decoded_.push_back(basis_[c].payload);
+  if (packed()) {
+    // Row-major descending order: when row r is processed every row above
+    // its pivot (c > r) is already a unit vector, so the whole chain
+    // mask_basis_[r] & ~e_r can be absorbed at once, pairwise. Same XOR
+    // multiset as the classic column-major sweep (a unit row's absorption
+    // only clears its own bit), hence byte-identical packets.
+    for (std::size_t r = width_; r-- > 0;) {
+      const std::uint64_t absorbed = mask_basis_[r] & ~(1ULL << r);
+      if (absorbed != 0) absorb_payloads(mask_payload_[r], absorbed);
+      mask_basis_[r] = 1ULL << r;
+    }
+    for (std::size_t c = 0; c < width_; ++c) {
+      decoded_.push_back(std::move(mask_payload_[c]));
+    }
+  } else {
+    for (std::size_t c = width_; c-- > 0;) {
+      for (std::size_t r = 0; r < c; ++r) {
+        if (basis_[r].coeffs.get(c)) {
+          basis_[r].coeffs ^= basis_[c].coeffs;
+          xor_into(basis_[r].payload, basis_[c].payload);
+        }
+      }
+    }
+    for (std::size_t c = 0; c < width_; ++c) {
+      RC_ASSERT(basis_[c].coeffs.popcount() == 1 && basis_[c].coeffs.get(c));
+      decoded_.push_back(std::move(basis_[c].payload));
+    }
   }
   solved_ = true;
 }
@@ -66,6 +163,7 @@ void IncrementalDecoder::back_substitute() {
 const Payload& IncrementalDecoder::packet(std::size_t index) {
   RC_ASSERT(index < width_);
   if (!solved_) back_substitute();
+  RC_ASSERT_MSG(decoded_.size() == width_, "decoder drained by take_packets");
   return decoded_[index];
 }
 
@@ -74,25 +172,27 @@ const std::vector<Payload>& IncrementalDecoder::packets() {
   return decoded_;
 }
 
+std::vector<Payload> IncrementalDecoder::take_packets() {
+  if (!solved_) back_substitute();
+  RC_ASSERT_MSG(decoded_.size() == width_, "decoder already drained");
+  return std::move(decoded_);
+}
+
 MaskRank::MaskRank(std::size_t width) : width_(width) {
   RC_ASSERT(width >= 1 && width <= 64);
 }
 
 bool MaskRank::add(std::uint64_t coeffs) {
   RC_ASSERT(width_ == 64 || (coeffs >> width_) == 0);
-  // Same elimination order as IncrementalDecoder::add_row: reduce against
-  // the basis row pivoted on the mask's lowest set bit until the mask is
-  // empty (redundant) or lands on a free pivot (innovative).
-  while (coeffs != 0) {
-    const auto pivot = static_cast<std::size_t>(std::countr_zero(coeffs));
-    if (basis_[pivot] == 0) {
-      basis_[pivot] = coeffs;
-      ++rank_;
-      return true;
-    }
-    coeffs ^= basis_[pivot];
-  }
-  return false;
+  // Same elimination as IncrementalDecoder's packed path — literally the
+  // shared reduce_pivot_mask routine, with a payload-free absorb.
+  std::uint64_t reduced = 0;
+  const std::size_t pivot =
+      reduce_pivot_mask(coeffs, basis_.data(), [](std::size_t) {}, &reduced);
+  if (pivot == kNoPivot) return false;
+  basis_[pivot] = reduced;
+  ++rank_;
+  return true;
 }
 
 }  // namespace radiocast::gf2

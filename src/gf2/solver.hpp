@@ -5,15 +5,33 @@
 // matrix reaches full rank (Lemma 3 guarantees this after O(log n)
 // receptions w.h.p.), then solve for the original packets. The decoder here
 // performs that elimination online: every received row is reduced against
-// the current basis in O(w) vector operations, so rank is always known and
-// decoding finishes the moment the last pivot appears.
+// the current basis, so rank is always known and decoding finishes the
+// moment the last pivot appears.
 //
 // Payloads ride along with the coefficient vectors: XORing two rows XORs
 // both their coefficients and their payload bytes, which is exactly the
 // field addition the paper uses (packets as elements of GF(2^b)).
+//
+// Two basis representations, one elimination order:
+//
+//   * width <= 64 (every group the protocol's uint64 wire header can
+//     express) — the PACKED fast path: coefficient vectors are single
+//     uint64 masks, the basis is a flat mask array plus a flat payload
+//     array, and rows enter through `add_row_packed` without ever
+//     materializing a BitVec. Payload buffers move, never copy, and a
+//     redundant row hands its (reduced) buffer back to the caller for
+//     arena recycling.
+//   * width > 64 — the BitVec fallback: the historical CodedRow basis.
+//
+// Both run the same lowest-set-bit pivot elimination; the packed path and
+// the payload-free MaskRank tracker literally share it (`reduce_pivot_mask`
+// below), so the two can never drift apart. `add_row` on a packed-width
+// decoder forwards to the packed path and is byte-identical to the
+// historical BitVec elimination (pinned by tests/gf2/coding_oracle_test).
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -30,12 +48,47 @@ using Payload = std::vector<std::uint8_t>;
 /// GF(2^b) pads with zeros).
 void xor_into(Payload& dst, const Payload& src);
 
+/// dst = a ^ b with the same zero-extension rule (dst sized to the longer
+/// operand, shorter operand padded with zeros). Single fused pass over the
+/// common prefix via gf2::xor_bytes_to.
+void xor_payloads(Payload& dst, const Payload& a, const Payload& b);
+
 /// One received coded message: payload = XOR of the group's packets
 /// selected by `coeffs`.
 struct CodedRow {
   BitVec coeffs;
   Payload payload;
 };
+
+/// Sentinel returned by reduce_pivot_mask for a linearly dependent row.
+inline constexpr std::size_t kNoPivot = 64;
+
+/// The shared lowest-set-bit pivot-elimination step: reduces `mask`
+/// against `basis` (basis[c] = reduced row whose lowest set bit is c,
+/// 0 = empty slot) until it is zero or lands on a free pivot. Calls
+/// `absorb(p)` every time basis row p is XORed into the mask — the packed
+/// IncrementalDecoder mirrors each absorption on the payload bytes, the
+/// payload-free MaskRank passes a no-op — and writes the fully reduced
+/// mask to `*reduced`. Returns the free pivot index (the caller stores
+/// `*reduced` there), or kNoPivot if the row was linearly dependent.
+///
+/// MaskRank and IncrementalDecoder's packed path both call this exact
+/// routine, so their notion of "innovative" can never diverge (the
+/// lock-step property obs::PacketTracer's decode tap rests on).
+template <typename Absorb>
+inline std::size_t reduce_pivot_mask(std::uint64_t mask, const std::uint64_t* basis,
+                                     Absorb&& absorb, std::uint64_t* reduced) {
+  while (mask != 0) {
+    const auto pivot = static_cast<std::size_t>(std::countr_zero(mask));
+    if (basis[pivot] == 0) {
+      *reduced = mask;
+      return pivot;
+    }
+    mask ^= basis[pivot];
+    absorb(pivot);
+  }
+  return kNoPivot;
+}
 
 class IncrementalDecoder {
  public:
@@ -60,6 +113,16 @@ class IncrementalDecoder {
   /// increased the rank (was innovative).
   bool add_row(CodedRow row);
 
+  /// Packed fast path (width <= 64 only): feeds one row whose coefficients
+  /// are the low `width` bits of `coeffs` (higher bits must be 0 — the
+  /// CodedMsg wire format). On an innovative row the payload is reduced in
+  /// place, then the buffer is MOVED into the basis and `payload` is left
+  /// moved-from. On a redundant row — decided by a mask-only reduction, so
+  /// no payload byte is ever touched — the buffer stays with the caller,
+  /// untouched and capacity intact, for recycling into a PayloadArena.
+  /// Counter accounting is identical to add_row.
+  bool add_row_packed(std::uint64_t coeffs, Payload& payload);
+
   /// Recovers packet `index` of the group. Must only be called when
   /// `complete()`; the first call performs back-substitution, subsequent
   /// calls are O(1) lookups.
@@ -68,16 +131,37 @@ class IncrementalDecoder {
   /// Recovers all packets (requires `complete()`).
   const std::vector<Payload>& packets();
 
+  /// Moves the decoded payload buffers out (requires `complete()`),
+  /// leaving the decoder drained: the caller keeps or recycles the
+  /// buffers and must not call packet()/packets() afterwards. This is the
+  /// allocation-free hand-off DisseminationState uses before resetting
+  /// the decoder.
+  std::vector<Payload> take_packets();
+
  private:
+  bool packed() const { return width_ <= 64; }
   void back_substitute();
+  /// Applies one reduction chain to `payload`: XORs in mask_payload_[p]
+  /// for every set bit p of `absorbed`, pairwise via gf2::xor_accum2.
+  void absorb_payloads(Payload& payload, std::uint64_t absorbed);
 
   std::size_t width_;
   std::size_t rank_ = 0;
   std::size_t rows_seen_ = 0;
   std::size_t redundant_rows_ = 0;
   bool solved_ = false;
-  /// basis_[c] holds the row whose lowest set coefficient is column c
-  /// (or an empty coeff vector if that pivot has not been seen yet).
+  /// Packed basis (width <= 64): mask_basis_[c] is the reduced
+  /// coefficient mask whose lowest set bit is c (0 = empty slot, valid
+  /// because a stored row always contains its own pivot bit), and
+  /// mask_payload_[c] the matching payload. Back-substitution recycles
+  /// these buffers into decoded_ by move; the masks stay behind so
+  /// late redundant rows still reduce correctly (their payload bytes are
+  /// then meaningless, but redundancy is a mask-only fact and the buffer
+  /// is discarded or recycled either way).
+  std::vector<std::uint64_t> mask_basis_;
+  std::vector<Payload> mask_payload_;
+  /// BitVec fallback basis (width > 64): basis_[c] holds the row whose
+  /// lowest set coefficient is column c.
   std::vector<CodedRow> basis_;
   std::vector<bool> has_pivot_;
   std::vector<Payload> decoded_;
@@ -85,11 +169,11 @@ class IncrementalDecoder {
 
 /// Payload-free rank tracker over GF(2) for groups of <= 64 packets,
 /// with coefficient vectors packed into one uint64 (exactly the CodedMsg
-/// wire format). Performs the same lowest-set-bit pivot elimination as
-/// IncrementalDecoder, so fed with the same row stream it reaches
-/// `complete()` in the same step — this is the decode-event tap the
-/// telemetry layer (obs::PacketTracer) uses to timestamp rank-complete
-/// events without duplicating payload arithmetic.
+/// wire format). Runs the same reduce_pivot_mask elimination as
+/// IncrementalDecoder's packed path, so fed with the same row stream it
+/// reaches `complete()` in the same step — this is the decode-event tap
+/// the telemetry layer (obs::PacketTracer) uses to timestamp
+/// rank-complete events without duplicating payload arithmetic.
 class MaskRank {
  public:
   /// Tracker for a group of `width` packets; 1 <= width <= 64.

@@ -12,9 +12,11 @@
 //   * for coded traffic the tracer mirrors the receiver's GF(2) decoder
 //     with a payload-free gf2::MaskRank per (node, group) — fed the same
 //     unit rows (PlainPacketMsg) and coefficient masks (CodedMsg) the
-//     DisseminationState feeds its IncrementalDecoder, it reaches rank
-//     completeness in the same round, which is the decode event for every
-//     packet of the group.
+//     DisseminationState feeds its IncrementalDecoder. MaskRank and the
+//     decoder's packed path share one pivot-elimination routine
+//     (gf2::reduce_pivot_mask), so the tracker reaches rank completeness
+//     in exactly the round the decoder does — that is the decode event
+//     for every packet of the group.
 //
 // Each first-hold record keeps the delivering neighbor and a hop depth
 // (depth of the sender when it transmitted, plus one), so the tracer can

@@ -101,6 +101,13 @@ class PayloadArena {
     pool_.push_back(std::move(buf));
   }
 
+  /// Returns a batch of spent buffers to the pool — e.g. the drained wire
+  /// images of a completed IncrementalDecoder (take_packets) after the
+  /// packets have been parsed out of them.
+  void recycle_all(std::vector<gf2::Payload>&& bufs) {
+    for (gf2::Payload& buf : bufs) recycle(std::move(buf));
+  }
+
   /// Harvests the payload buffer (if any) out of a retired message body.
   /// The body is left with an empty payload; callers must be done with it.
   void recycle_body(MessageBody& body) {
