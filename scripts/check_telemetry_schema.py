@@ -12,11 +12,15 @@ Checks, line by line:
   * the first line is the header (format "radiocast-telemetry-v1") and the
     last line is the summary — nothing before or after them;
   * each line type carries exactly its required keys with the right JSON
-    types (see SCHEMAS below);
-  * cross-line invariants: per-cell "packet" lines sum to the header-to-
-    summary packet count, "latency"/"packet" lines only appear after a
-    "cell" line, ledger rows never report more busy slots than awake
-    nodes, and flight lines only appear when the header enabled them.
+    types (see SCHEMAS below); "cell" lines come in two shapes — the
+    closed-run grid cell (algo/placement/k/loss/cd) and the stream-mode
+    cell (rate/buffer/policy), picked by which keys are present;
+  * cross-line invariants: the summary packet count reconciles against
+    the cells (sum of k for closed cells, delivered latency counts for
+    stream cells), "latency"/"packet"/"queue"/"queue_round" lines only
+    appear after a "cell" line, ledger rows never report more busy slots
+    than awake nodes, queue counters never admit more than was offered,
+    and flight lines only appear when the header enabled them.
 
 Usage:
     check_telemetry_schema.py out/ci_smoke.telemetry.jsonl
@@ -71,6 +75,38 @@ SCHEMAS = {
         "loss": NUMBER,
         "cd": bool,
     },
+    # Stream-mode (open system) grid cell; distinguished from the closed
+    # cell by its "rate" key.
+    "cell_stream": {
+        "type": str,
+        "rate": NUMBER,
+        "buffer": NUMBER,
+        "policy": str,
+    },
+    # Whole-cell source-buffer totals (stream mode; exact past any cap).
+    "queue": {
+        "type": str,
+        "offered": NUMBER,
+        "admitted": NUMBER,
+        "dropped": NUMBER,
+        "backpressured": NUMBER,
+        "peak_depth": NUMBER,
+        "saturated_trials": NUMBER,
+    },
+    # Trial-0 backlog timeline, one row per epoch boundary (stream mode).
+    # Counter columns are cumulative run totals as of the sampled round.
+    "queue_round": {
+        "type": str,
+        "round": NUMBER,
+        "buffered": NUMBER,
+        "held_back": NUMBER,
+        "in_flight": NUMBER,
+        "offered": NUMBER,
+        "admitted": NUMBER,
+        "dropped": NUMBER,
+        "backpressured": NUMBER,
+        "delivered": NUMBER,
+    },
     "latency": {"type": str, "buckets": list, **LATENCY_STATS},
     "packet": {
         "type": str,
@@ -107,6 +143,8 @@ VIA_NAMES = {"origin", "data", "plain", "decode"}
 def check_line(lineno: int, obj: dict, problems: list[str]) -> str | None:
     """Validates one parsed line against SCHEMAS; returns its type."""
     t = obj.get("type")
+    if t == "cell" and "rate" in obj:
+        t = "cell_stream"  # the stream-mode cell shape (same "type" tag)
     if t not in SCHEMAS:
         problems.append(f"line {lineno}: unknown type {t!r}")
         return None
@@ -147,9 +185,12 @@ def main() -> int:
 
     problems: list[str] = []
     header = None
-    expected_packets = 0
+    expected_packets = 0         # closed cells: sum of k (has packet lines)
+    expected_stream_packets = 0  # stream cells: delivered latency counts
     packet_lines = 0
     seen_cell = False
+    in_stream_cell = False
+    stream_latency_pending = False
     seen_summary = False
     counts: dict[str, int] = {}
 
@@ -182,9 +223,16 @@ def main() -> int:
             problems.append(f"line {lineno}: duplicate header")
         elif t == "cell":
             seen_cell = True
+            in_stream_cell = False
             if isinstance(obj.get("k"), NUMBER):
                 expected_packets += int(obj["k"])
-        elif t in ("latency", "packet") and not seen_cell:
+        elif t == "cell_stream":
+            seen_cell = True
+            in_stream_cell = True
+            # The cell's (single) latency line carries the delivered count
+            # that the summary reconciles against.
+            stream_latency_pending = True
+        elif t in ("latency", "packet", "queue", "queue_round") and not seen_cell:
             problems.append(f"line {lineno}: {t!r} line before any cell line")
         elif t == "flight" and header and header.get("flight_paths") is False:
             problems.append(
@@ -192,13 +240,27 @@ def main() -> int:
             )
         elif t == "summary":
             seen_summary = True
-            if obj.get("packets") != expected_packets:
+            want = expected_packets + expected_stream_packets
+            if obj.get("packets") != want:
                 problems.append(
                     f"line {lineno}: summary.packets={obj.get('packets')} but "
-                    f"cell lines sum to k={expected_packets}"
+                    f"cell lines sum to {want}"
                 )
         if t == "packet":
             packet_lines += 1
+        if t == "latency" and in_stream_cell and stream_latency_pending:
+            stream_latency_pending = False
+            if isinstance(obj.get("count"), NUMBER):
+                expected_stream_packets += int(obj["count"])
+        if t in ("queue", "queue_round"):
+            offered = obj.get("offered")
+            admitted = obj.get("admitted")
+            if isinstance(offered, NUMBER) and isinstance(admitted, NUMBER):
+                if admitted > offered:
+                    problems.append(
+                        f"line {lineno}: admitted ({admitted}) exceeds "
+                        f"offered ({offered})"
+                    )
         if t in ("ledger", "ledger_round"):
             busy = sum(
                 obj.get(k, 0)

@@ -23,6 +23,8 @@
 
 namespace radiocast::audit {
 
+/// One fully pinned end-to-end configuration: everything a run needs,
+/// seeds included, so the corpus re-executes identically on every host.
 struct CorpusCase {
   std::string name;
   /// Topology family for graph::make_named.
@@ -42,6 +44,8 @@ struct CorpusCase {
 /// cases keep being audited).
 const std::vector<CorpusCase>& pinned_corpus();
 
+/// The audited-vs-unaudited pair of results for one case, plus the
+/// auditor's verdict.
 struct CorpusOutcome {
   core::RunResult audited;
   core::RunResult unaudited;

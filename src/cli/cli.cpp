@@ -201,11 +201,16 @@ int cmd_list(const std::vector<std::string>& args, std::ostream& out) {
   for (const auto& path : files) {
     try {
       const exp::ScenarioSpec spec = exp::parse_scenario(read_file(path.string()));
-      const std::size_t cells =
-          spec.mode == "dynamic"
-              ? spec.dynamic.load.size()
-              : spec.algos.size() * spec.placement.size() * spec.k.size() *
-                    spec.loss.size() * spec.collision_detection.size();
+      std::size_t cells = 0;
+      if (spec.mode == "dynamic") {
+        cells = spec.dynamic.load.size();
+      } else if (spec.mode == "stream") {
+        cells = spec.stream.rate.size() * spec.stream.buffer.size() *
+                spec.stream.policy.size();
+      } else {
+        cells = spec.algos.size() * spec.placement.size() * spec.k.size() *
+                spec.loss.size() * spec.collision_detection.size();
+      }
       out << path.string() << "\n  " << spec.id << " [" << spec.mode << ", "
           << cells << " cells x " << spec.seeds << " seeds] " << spec.title
           << "\n";

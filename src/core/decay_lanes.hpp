@@ -36,6 +36,7 @@
 
 namespace radiocast::core {
 
+/// Configuration shared by all 64 lanes of one bit-sliced simulation.
 struct DecayLaneConfig {
   /// Rounds per Decay epoch (step s transmits with probability 2^-(s+1),
   /// matching protocols::Decay). 0 derives ceil(log2 Δ) + 1 from the
@@ -49,6 +50,7 @@ struct DecayLaneConfig {
   std::uint64_t seed = 0x1a9e5eedULL;
 };
 
+/// Per-lane completion rounds of one 64-trial bit-sliced run.
 struct DecayLaneResult {
   static constexpr std::uint64_t kIncomplete = ~0ULL;
 

@@ -36,9 +36,22 @@ DynamicBroadcastNode::DynamicBroadcastNode(const DynamicConfig& cfg,
 }
 
 void DynamicBroadcastNode::inject(radio::Packet packet) {
-  delivered_.emplace(packet.id, packet);  // the holder trivially has it
+  deliver(packet);  // the holder trivially has it
   pending_.push_back(std::move(packet));
 }
+
+void DynamicBroadcastNode::deliver(radio::Packet packet) {
+  const auto [it, fresh] = delivered_.emplace(packet.id, std::move(packet));
+  if (fresh) on_packet_delivered(it->second);
+}
+
+std::vector<radio::Packet> DynamicBroadcastNode::take_epoch_packets() {
+  std::vector<radio::Packet> out = std::move(pending_);
+  pending_.clear();
+  return out;
+}
+
+void DynamicBroadcastNode::on_packet_delivered(const radio::Packet& /*packet*/) {}
 
 void DynamicBroadcastNode::start_collect(radio::Round round) {
   phase_ = Phase::kCollect;
@@ -49,8 +62,7 @@ void DynamicBroadcastNode::start_collect(radio::Round round) {
   if (collect_.has_value() && !leader_.is_leader()) {
     own = collect_->unacked_packets();
   }
-  own.insert(own.end(), pending_.begin(), pending_.end());
-  pending_.clear();
+  for (radio::Packet& p : take_epoch_packets()) own.push_back(std::move(p));
 
   std::optional<radio::NodeId> parent;
   const bool is_root = leader_.is_leader();
@@ -67,7 +79,7 @@ void DynamicBroadcastNode::start_disseminate(radio::Round round) {
       if (root_sent_.emplace(p.id, false).second) {
         root_queue_.push_back(p);
       }
-      delivered_.emplace(p.id, p);
+      deliver(p);
     }
   }
   phase_ = Phase::kDisseminate;
@@ -117,7 +129,7 @@ void DynamicBroadcastNode::advance(radio::Round round) {
           // Harvest whatever decoded and begin the next epoch.
           if (dissem_.has_value()) {
             for (radio::Packet& p : dissem_->packets()) {
-              delivered_.emplace(p.id, std::move(p));
+              deliver(std::move(p));
             }
           }
           ++epoch_;

@@ -59,7 +59,7 @@ struct DynamicConfig {
   std::uint64_t dissemination_window() const;
 };
 
-class DynamicBroadcastNode final : public radio::NodeProtocol {
+class DynamicBroadcastNode : public radio::NodeProtocol {
  public:
   DynamicBroadcastNode(const DynamicConfig& cfg, radio::NodeId self, Rng rng);
 
@@ -78,6 +78,29 @@ class DynamicBroadcastNode final : public radio::NodeProtocol {
 
   bool is_leader() const { return leader_.is_leader(); }
   std::uint32_t epochs_completed() const { return epoch_; }
+
+ protected:
+  // --- Epoch re-entry hooks ---------------------------------------------
+  // The open-system stream layer (src/stream/) subclasses this node to put
+  // a bounded, policy-governed source buffer between the application and
+  // the epoch pipeline. The default implementations reproduce the closed
+  // dynamic-mode behavior exactly, so the base class is unchanged by the
+  // hooks' existence.
+
+  /// Called at every collection re-entry (epoch start): returns the fresh
+  /// application packets joining this epoch's collection sub-stage, after
+  /// the carry-over of the previous epoch's unacked packets. The default
+  /// drains the unbounded pending_ list fed by inject().
+  virtual std::vector<radio::Packet> take_epoch_packets();
+
+  /// Fired exactly once per packet the first time this node holds it —
+  /// own injection, root harvest at the collect→disseminate boundary, or
+  /// a Stage-4 decode at the epoch close. Default: no-op.
+  virtual void on_packet_delivered(const radio::Packet& packet);
+
+  /// Records `packet` as held by this node and fires on_packet_delivered
+  /// on first sight. Subclasses use this to seed their own admissions.
+  void deliver(radio::Packet packet);
 
  private:
   enum class Phase { kSetup, kCollect, kDisseminate };

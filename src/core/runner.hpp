@@ -45,6 +45,8 @@ Placement make_placement(std::uint32_t n, std::uint32_t k, PlacementMode mode,
 /// All packets of a placement, sorted by id (the delivery ground truth).
 std::vector<radio::Packet> placement_packets(const Placement& placement);
 
+/// Everything one k-broadcast run reports: delivery verdict, per-stage
+/// round accounting, and the engine's trace counters.
 struct RunResult {
   bool delivered_all = false;  ///< every node holds every packet bit-exact
   bool timed_out = false;

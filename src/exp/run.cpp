@@ -15,6 +15,7 @@
 #include "graph/generators.hpp"
 #include "obs/export.hpp"
 #include "obs/packet_trace.hpp"
+#include "stream/driver.hpp"
 
 namespace radiocast::exp {
 
@@ -228,6 +229,14 @@ struct Builder {
       grid.set("placement_seeds", JsonValue(std::move(ps)));
       grid.set("run_seeds", JsonValue(std::move(rs)));
       grid.set("fault_seeds", JsonValue(std::move(fs)));
+      if (spec.mode == "stream") {
+        // Emitted only in stream mode so closed-run manifests keep their
+        // pinned byte-identical shape (same rule as the spec's "stream"
+        // block in scenario_to_json).
+        std::vector<JsonValue> as;
+        for (int t = 0; t < spec.seeds; ++t) as.emplace_back(arrival_seed(spec, t));
+        grid.set("arrival_seeds", JsonValue(std::move(as)));
+      }
       det.set("seed_grid", JsonValue(std::move(grid)));
     }
     det.set("cells", JsonValue(manifest_cells));
@@ -678,6 +687,211 @@ void run_dynamic_cells(Builder& b, const graph::Graph& g,
   }
 }
 
+std::string digest_stream(const stream::StreamResult& r) {
+  JsonObject o;
+  o.set("n", static_cast<std::uint64_t>(r.n));
+  o.set("horizon", r.horizon);
+  o.set("arrivals", r.arrivals_scheduled);
+  o.set("delivered_everywhere", r.delivered_everywhere);
+  o.set("offered", r.queue.offered);
+  o.set("admitted", r.queue.admitted);
+  o.set("dropped", r.queue.dropped);
+  o.set("backpressured", r.queue.backpressured);
+  o.set("peak_depth", r.queue.peak_depth);
+  o.set("epochs", static_cast<std::uint64_t>(r.epochs_completed));
+  o.set("in_system_end", r.in_system_end);
+  o.set("saturated", r.saturated);
+  o.set("saturation_onset", r.saturation_onset_round);
+  o.set("latency_count", r.latency.count());
+  o.set("latency_sum", r.latency.sum());
+  o.set("latency_max", r.latency.max());
+  o.set("counters", counters_json(r.counters));
+  return digest_json(JsonValue(std::move(o)));
+}
+
+void run_stream_cells(Builder& b, const graph::Graph& g,
+                      const radio::Knowledge& know) {
+  const ScenarioSpec& spec = b.spec;
+  core::montecarlo::Options opts;
+  opts.threads = b.resolved_threads;
+
+  core::KBroadcastConfig kcfg;
+  kcfg.know = know;
+  core::DynamicConfig dyn;
+  dyn.rc = core::resolve(kcfg);
+  dyn.batch_capacity = spec.stream.batch_capacity;
+
+  const std::uint64_t epoch_estimate = stream::epoch_estimate_rounds(dyn);
+  // Arrivals start at round 0 and buffer through the one-time setup
+  // (Stage 1 + Stage 2); the round budget grants the full horizon_epochs
+  // of pipelined epochs after it.
+  const std::uint64_t horizon =
+      dyn.rc.stage3_start() + spec.stream.horizon_epochs * epoch_estimate;
+
+  stream::ArrivalKind kind = stream::ArrivalKind::kPoisson;
+  stream::arrival_kind_from_string(spec.stream.process, kind);
+
+  b.columns = {"rate",       "buffer",    "policy",  "arrivals", "delivered",
+               "tput",       "tput_epoch", "norm_tput", "lat_p50", "lat_p90",
+               "lat_p99",    "lat_max",   "dropped", "backpressured",
+               "peak_depth", "in_system_end", "saturated"};
+  {
+    std::vector<JsonValue> rates, buffers;
+    for (const double r : spec.stream.rate) rates.emplace_back(r);
+    for (const std::uint32_t v : spec.stream.buffer)
+      buffers.emplace_back(static_cast<std::uint64_t>(v));
+    b.axes.set("rate", JsonValue(std::move(rates)));
+    b.axes.set("buffer", JsonValue(std::move(buffers)));
+    b.axes.set("policy", JsonValue(std::vector<JsonValue>(spec.stream.policy.begin(),
+                                                          spec.stream.policy.end())));
+  }
+
+  for (const double rate : spec.stream.rate) {
+    for (const std::uint32_t buffer : spec.stream.buffer) {
+      for (const std::string& policy_name : spec.stream.policy) {
+        stream::BufferPolicy policy = stream::BufferPolicy::kDropNew;
+        stream::buffer_policy_from_string(policy_name, policy);
+
+        stream::StreamConfig cfg;
+        cfg.dyn = dyn;
+        cfg.arrivals.kind = kind;
+        cfg.arrivals.rate = stream::per_node_rate(dyn, g.num_nodes(), rate);
+        cfg.arrivals.payload_bytes = spec.payload_bytes;
+        cfg.buffer_capacity = buffer;
+        cfg.policy = policy;
+        cfg.saturation.window = spec.stream.saturation_window;
+        cfg.saturation.min_growth = spec.stream.saturation_min_growth;
+        cfg.horizon = horizon;
+        cfg.shards = static_cast<std::uint32_t>(b.resolved_shards);
+        cfg.audit = spec.audit;
+        cfg.ledger_max_rows =
+            static_cast<std::size_t>(spec.telemetry.ledger_rounds);
+
+        const std::vector<stream::StreamResult> results = core::montecarlo::run(
+            spec.seeds,
+            [&](int t) {
+              stream::StreamConfig trial_cfg = cfg;
+              trial_cfg.arrivals.seed = arrival_seed(spec, t);
+              trial_cfg.seed = run_seed(spec, t);
+              return stream::run_stream(g, trial_cfg);
+            },
+            opts);
+
+        // All reductions walk trials in trial order: histogram merges are
+        // bucket-wise integer sums and counters are integer sums, so the
+        // document is byte-identical at any thread (and shard) count.
+        obs::LogHistogram latency;
+        SampleSet tput, norm, in_system;
+        std::uint64_t arrivals = 0, delivered = 0, peak_depth = 0;
+        stream::QueueStats queue;
+        int saturated_trials = 0;
+        std::vector<std::string> trial_digests;
+        for (const stream::StreamResult& r : results) {
+          latency.merge(r.latency);
+          tput.add(r.throughput);
+          norm.add(r.normalized_throughput);
+          in_system.add(static_cast<double>(r.in_system_end));
+          arrivals += r.arrivals_scheduled;
+          delivered += r.delivered_everywhere;
+          queue.merge(r.queue);
+          peak_depth = std::max(peak_depth, r.queue.peak_depth);
+          if (r.saturated) ++saturated_trials;
+          trial_digests.push_back(digest_stream(r));
+          if (r.audited && r.audit_violations > 0) {
+            b.audit_clean = false;
+            b.audit_violations.push_back(
+                "cell rate=" + std::to_string(rate) + " buffer=" +
+                std::to_string(buffer) + " policy=" + policy_name + ": " +
+                r.audit_summary);
+          }
+        }
+
+        if (spec.telemetry.enabled) {
+          JsonObject cl;
+          cl.set("type", "cell");
+          cl.set("rate", rate);
+          cl.set("buffer", static_cast<std::uint64_t>(buffer));
+          cl.set("policy", policy_name);
+          b.telemetry_lines.push_back(telemetry_line(std::move(cl)));
+          {
+            JsonObject l;
+            l.set("type", "latency");
+            set_latency_stats(l, latency);
+            l.set("buckets", buckets_json(latency));
+            b.telemetry_lines.push_back(telemetry_line(std::move(l)));
+          }
+          {
+            // Whole-cell backlog totals (exact regardless of the row cap).
+            JsonObject q;
+            q.set("type", "queue");
+            q.set("offered", queue.offered);
+            q.set("admitted", queue.admitted);
+            q.set("dropped", queue.dropped);
+            q.set("backpressured", queue.backpressured);
+            q.set("peak_depth", peak_depth);
+            q.set("saturated_trials",
+                  static_cast<std::uint64_t>(saturated_trials));
+            b.telemetry_lines.push_back(telemetry_line(std::move(q)));
+          }
+          // Backlog timeline of trial 0 (one representative trial, one row
+          // per epoch boundary), mirroring the kbroadcast "ledger_round"
+          // convention.
+          const obs::QueueLedger& led0 = results.front().ledger;
+          b.dropped_ledger_rows += led0.dropped_rows();
+          for (const obs::QueueLedger::Row& r : led0.rows()) {
+            JsonObject qr;
+            qr.set("type", "queue_round");
+            qr.set("round", r.round);
+            qr.set("buffered", r.buffered);
+            qr.set("held_back", r.held_back);
+            qr.set("in_flight", r.in_flight);
+            qr.set("offered", r.offered);
+            qr.set("admitted", r.admitted);
+            qr.set("dropped", r.dropped);
+            qr.set("backpressured", r.backpressured);
+            qr.set("delivered", r.delivered);
+            b.telemetry_lines.push_back(telemetry_line(std::move(qr)));
+          }
+          b.packets_tracked += delivered;
+        }
+
+        JsonObject row;
+        row.set("rate", rate);
+        row.set("buffer", static_cast<std::uint64_t>(buffer));
+        row.set("policy", policy_name);
+        row.set("arrivals", arrivals);
+        row.set("delivered", delivered);
+        row.set("tput", tput.median());
+        // Delivered packets per nominal epoch — directly comparable to the
+        // batch capacity, so the saturation knee reads off the table.
+        row.set("tput_epoch", tput.median() * static_cast<double>(epoch_estimate));
+        row.set("norm_tput", norm.median());
+        row.set("lat_p50", latency.p50());
+        row.set("lat_p90", latency.p90());
+        row.set("lat_p99", latency.p99());
+        row.set("lat_max", latency.max());
+        row.set("dropped", queue.dropped);
+        row.set("backpressured", queue.backpressured);
+        row.set("peak_depth", peak_depth);
+        row.set("in_system_end", in_system.median());
+        row.set("saturated", std::to_string(saturated_trials) + "/" +
+                                 std::to_string(spec.seeds));
+        b.rows.emplace_back(std::move(row));
+
+        JsonObject mcell;
+        mcell.set("rate", rate);
+        mcell.set("buffer", static_cast<std::uint64_t>(buffer));
+        mcell.set("policy", policy_name);
+        {
+          std::vector<JsonValue> td(trial_digests.begin(), trial_digests.end());
+          mcell.set("trial_digests", JsonValue(std::move(td)));
+        }
+        b.manifest_cells.emplace_back(std::move(mcell));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 ScenarioOutcome run_scenario(const ScenarioSpec& spec) {
@@ -696,6 +910,8 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec) {
                                    : core::montecarlo::shards_from_env()};
   if (spec.mode == "dynamic") {
     run_dynamic_cells(b, g, know);
+  } else if (spec.mode == "stream") {
+    run_stream_cells(b, g, know);
   } else {
     run_kbroadcast_cells(b, g, know);
   }

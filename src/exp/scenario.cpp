@@ -5,6 +5,8 @@
 #include <initializer_list>
 
 #include "graph/generators.hpp"
+#include "stream/arrivals.hpp"
+#include "stream/queue.hpp"
 
 namespace radiocast::exp {
 
@@ -155,6 +157,31 @@ TelemetrySpec parse_telemetry(const JsonValue& v, std::string_view ctx) {
   return t;
 }
 
+StreamSpec parse_stream(const JsonValue& v, std::string_view ctx) {
+  const JsonObject& o = v.as_object(ctx);
+  reject_unknown_keys(o, ctx,
+                      {"rate", "process", "buffer", "policy", "batch_capacity",
+                       "horizon_epochs", "saturation_window",
+                       "saturation_min_growth"});
+  StreamSpec s;
+  opt_axis(o, ctx, "rate", s.rate,
+           [](const JsonValue& e, const std::string& p) { return e.as_double(p); });
+  opt_string(o, ctx, "process", s.process);
+  opt_axis(o, ctx, "buffer", s.buffer,
+           [](const JsonValue& e, const std::string& p) {
+             const std::uint64_t x = e.as_uint(p);
+             if (x > UINT32_MAX) throw JsonError(p + ": value too large");
+             return static_cast<std::uint32_t>(x);
+           });
+  opt_axis(o, ctx, "policy", s.policy,
+           [](const JsonValue& e, const std::string& p) { return e.as_string(p); });
+  opt_u32(o, ctx, "batch_capacity", s.batch_capacity);
+  opt_u32(o, ctx, "horizon_epochs", s.horizon_epochs);
+  opt_u32(o, ctx, "saturation_window", s.saturation_window);
+  opt_u64(o, ctx, "saturation_min_growth", s.saturation_min_growth);
+  return s;
+}
+
 DynamicSpec parse_dynamic(const JsonValue& v, std::string_view ctx) {
   const JsonObject& o = v.as_object(ctx);
   reject_unknown_keys(o, ctx, {"load", "batch_capacity", "arrival_epochs"});
@@ -196,7 +223,7 @@ ScenarioSpec parse_scenario(std::string_view json_text) {
       {"id", "title", "claim", "mode", "topology", "knowledge", "placement",
        "payload_bytes", "algos", "k", "loss", "collision_detection", "seeds",
        "seed_base", "max_rounds", "audit", "engine", "threads", "shards",
-       "telemetry", "dynamic", "report"});
+       "telemetry", "dynamic", "stream", "report"});
 
   ScenarioSpec s;
   opt_string(o, "scenario", "id", s.id);
@@ -232,6 +259,14 @@ ScenarioSpec parse_scenario(std::string_view json_text) {
     s.telemetry = parse_telemetry(*v, "scenario.telemetry");
   if (const JsonValue* v = o.find("dynamic"))
     s.dynamic = parse_dynamic(*v, "scenario.dynamic");
+  if (const JsonValue* v = o.find("stream")) {
+    // Only legal in stream mode: the block is not serialized elsewhere
+    // (see scenario_to_json), so accepting it in other modes would break
+    // the parse(serialize(s)) == s round trip.
+    if (s.mode != "stream")
+      throw JsonError("scenario.stream: only allowed with mode \"stream\"");
+    s.stream = parse_stream(*v, "scenario.stream");
+  }
   if (const JsonValue* v = o.find("report")) s.report = parse_report(*v, "scenario.report");
 
   validate_scenario(s);
@@ -297,6 +332,25 @@ JsonValue scenario_to_json(const ScenarioSpec& s) {
   // perturb spec digests.
   o.set("telemetry", JsonValue(std::move(telem)));
   o.set("dynamic", JsonValue(std::move(dyn)));
+  // The "stream" block is emitted only in stream mode — a deliberate
+  // asymmetry with the always-emitted "dynamic" block: the key arrived
+  // after digests of kbroadcast/dynamic scenarios were pinned in CI
+  // baselines and published tables, and emitting it unconditionally would
+  // change every one of them. parse_scenario enforces the same rule on
+  // input, keeping parse(serialize(s)) == s.
+  if (s.mode == "stream") {
+    JsonObject stream;
+    stream.set("rate", axis_to_json(s.stream.rate));
+    stream.set("process", s.stream.process);
+    stream.set("buffer", axis_to_json(s.stream.buffer));
+    stream.set("policy", axis_to_json(s.stream.policy));
+    stream.set("batch_capacity", static_cast<std::uint64_t>(s.stream.batch_capacity));
+    stream.set("horizon_epochs", static_cast<std::uint64_t>(s.stream.horizon_epochs));
+    stream.set("saturation_window",
+               static_cast<std::uint64_t>(s.stream.saturation_window));
+    stream.set("saturation_min_growth", s.stream.saturation_min_growth);
+    o.set("stream", JsonValue(std::move(stream)));
+  }
   o.set("report", JsonValue(std::move(report)));
   return JsonValue(std::move(o));
 }
@@ -313,8 +367,8 @@ void validate_scenario(const ScenarioSpec& s) {
     if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-'))
       fail("\"id\" must be [A-Za-z0-9_-] (got \"" + s.id + "\")");
   }
-  if (s.mode != "kbroadcast" && s.mode != "dynamic")
-    fail("mode must be \"kbroadcast\" or \"dynamic\"");
+  if (s.mode != "kbroadcast" && s.mode != "dynamic" && s.mode != "stream")
+    fail("mode must be \"kbroadcast\", \"dynamic\" or \"stream\"");
 
   const auto& families = graph::named_families();
   if (std::find(families.begin(), families.end(), s.topology.family) == families.end())
@@ -347,7 +401,11 @@ void validate_scenario(const ScenarioSpec& s) {
     if (s.telemetry.ledger_rounds == 0) fail("telemetry.ledger_rounds must be >= 1");
     if (s.telemetry.max_flight_events == 0)
       fail("telemetry.max_flight_events must be >= 1");
-    if (s.mode != "kbroadcast") fail("telemetry requires mode \"kbroadcast\"");
+    if (s.mode == "dynamic") fail("telemetry is not supported in dynamic mode");
+    // Stream telemetry is backlog/latency only; the per-packet flight log
+    // is a closed-run (kbroadcast) artifact.
+    if (s.mode == "stream" && s.telemetry.flight_paths)
+      fail("telemetry.flight_paths is not supported in stream mode");
   }
 
   if (s.mode == "kbroadcast") {
@@ -381,12 +439,41 @@ void validate_scenario(const ScenarioSpec& s) {
     // plain run_algo entry point, which always uses the scalar kernel.
     if (needs_sweep_engine && s.engine != "scalar")
       fail("engine \"bitset\" requires algos within {coded, uncoded}");
-  } else {
+  } else if (s.mode == "dynamic") {
     if (s.dynamic.load.empty()) fail("dynamic.load must not be empty");
     for (const double l : s.dynamic.load)
       if (l <= 0 || l > 16) fail("dynamic.load values must be in (0, 16]");
     if (s.audit) fail("audit is not supported in dynamic mode");
     if (s.engine != "scalar") fail("engine \"bitset\" is not supported in dynamic mode");
+  } else {  // stream
+    if (s.stream.rate.empty()) fail("stream.rate must not be empty");
+    for (const double r : s.stream.rate)
+      if (r <= 0 || r > 16) fail("stream.rate values must be in (0, 16]");
+    stream::ArrivalKind kind;
+    if (!stream::arrival_kind_from_string(s.stream.process, kind))
+      fail("stream.process must be \"poisson\" or \"periodic\"");
+    if (s.stream.buffer.empty()) fail("stream.buffer must not be empty");
+    for (const std::uint32_t b : s.stream.buffer)
+      if (b == 0) fail("stream.buffer values must be >= 1");
+    if (s.stream.policy.empty()) fail("stream.policy must not be empty");
+    for (const std::string& p : s.stream.policy) {
+      stream::BufferPolicy policy;
+      if (!stream::buffer_policy_from_string(p, policy))
+        fail("stream.policy must be drop_new | drop_old | backpressure");
+    }
+    if (s.stream.horizon_epochs == 0) fail("stream.horizon_epochs must be >= 1");
+    if (s.stream.saturation_window == 0)
+      fail("stream.saturation_window must be >= 1");
+    // The protocol nodes run the scalar round kernel in this mode (as in
+    // dynamic mode); the CD/fault ablations are closed-run axes.
+    if (s.engine != "scalar") fail("engine \"bitset\" is not supported in stream mode");
+    const bool has_faults =
+        std::any_of(s.loss.begin(), s.loss.end(), [](double l) { return l > 0; });
+    const bool has_cd =
+        std::any_of(s.collision_detection.begin(), s.collision_detection.end(),
+                    [](bool b) { return b; });
+    if (has_faults || has_cd)
+      fail("loss > 0 and collision_detection are not supported in stream mode");
   }
 }
 
@@ -398,6 +485,9 @@ std::uint64_t run_seed(const ScenarioSpec& spec, int trial) {
 }
 std::uint64_t fault_seed(const ScenarioSpec& spec, int trial) {
   return spec.seed_base + 555 + static_cast<std::uint64_t>(trial);
+}
+std::uint64_t arrival_seed(const ScenarioSpec& spec, int trial) {
+  return spec.seed_base + 777 + static_cast<std::uint64_t>(trial);
 }
 
 }  // namespace radiocast::exp

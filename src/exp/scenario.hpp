@@ -92,6 +92,29 @@ struct DynamicSpec {
   std::uint32_t arrival_epochs = 4;
 };
 
+/// Open-system streaming scenarios (mode == "stream"): packets arrive
+/// continuously at every node and flow through bounded source buffers into
+/// the pipelined epochs of src/stream/. The `stream` key is only legal —
+/// and only serialized — when mode == "stream" (see scenario_to_json).
+struct StreamSpec {
+  /// Offered-load axis relative to pipeline capacity: 1.0 = the batch
+  /// capacity arriving network-wide per nominal epoch.
+  std::vector<double> rate{0.5, 1.0, 2.0};
+  std::string process = "poisson";  ///< poisson | periodic
+  /// Per-node bounded source-buffer axis (packets).
+  std::vector<std::uint32_t> buffer{64};
+  /// Full-buffer policy axis: drop_new | drop_old | backpressure.
+  std::vector<std::string> policy{"drop_new"};
+  /// Packets per dissemination window (0 = capacity derived from x₀).
+  std::uint32_t batch_capacity = 32;
+  /// Round budget, in nominal-epoch multiples.
+  std::uint32_t horizon_epochs = 8;
+  /// Saturation detector: backlog samples per sliding window, and the
+  /// minimum growth across a window that latches "saturated".
+  std::uint32_t saturation_window = 4;
+  std::uint64_t saturation_min_growth = 8;
+};
+
 /// One fully-described experiment. Vector-valued fields are grid axes;
 /// everything else is shared by all cells.
 struct ScenarioSpec {
@@ -99,7 +122,8 @@ struct ScenarioSpec {
   std::string title;  ///< human heading for the report
   std::string claim;  ///< the paper claim / question the scenario probes
 
-  /// "kbroadcast" (static k-broadcast, the default) or "dynamic".
+  /// "kbroadcast" (static k-broadcast, the default), "dynamic" (finite
+  /// arrival window) or "stream" (open system, continuous arrivals).
   std::string mode = "kbroadcast";
 
   TopologySpec topology;
@@ -134,6 +158,7 @@ struct ScenarioSpec {
 
   TelemetrySpec telemetry;
   DynamicSpec dynamic;
+  StreamSpec stream;
   ReportSpec report;
 };
 
@@ -160,5 +185,8 @@ void validate_scenario(const ScenarioSpec& spec);
 std::uint64_t placement_seed(const ScenarioSpec& spec, int trial);
 std::uint64_t run_seed(const ScenarioSpec& spec, int trial);
 std::uint64_t fault_seed(const ScenarioSpec& spec, int trial);
+/// Root of the dedicated arrival stream (mode == "stream" only): arrivals
+/// draw from their own RNG so closed runs stay draw-for-draw unchanged.
+std::uint64_t arrival_seed(const ScenarioSpec& spec, int trial);
 
 }  // namespace radiocast::exp

@@ -1,0 +1,58 @@
+// Queue-depth ledger for the open-system stream driver.
+//
+// Sibling of ChannelLedger: capped per-sample rows for telemetry, plus
+// exact whole-run totals that are never capped. One row is appended per
+// sampled round (the stream driver samples at every epoch boundary and at
+// the horizon), aggregating the source buffers of ALL nodes — the ledger
+// tracks the system backlog, not per-node detail. Rows beyond `max_rows`
+// are dropped with an explicit count, never silently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace radiocast::obs {
+
+class QueueLedger {
+ public:
+  /// One aggregate backlog sample. The counter fields are cumulative
+  /// (monotone) run totals as of the sampled round, so consecutive rows
+  /// can be differenced for per-epoch deltas.
+  struct Row {
+    std::uint64_t round = 0;
+    std::uint64_t buffered = 0;       ///< packets in bounded buffers
+    std::uint64_t held_back = 0;      ///< packets parked by backpressure
+    std::uint64_t in_flight = 0;      ///< admitted, not yet network-wide
+    std::uint64_t offered = 0;        ///< cumulative arrivals offered
+    std::uint64_t admitted = 0;       ///< cumulative admissions
+    std::uint64_t dropped = 0;        ///< cumulative drops
+    std::uint64_t backpressured = 0;  ///< cumulative deferrals
+    std::uint64_t delivered = 0;      ///< cumulative packets known network-wide
+  };
+
+  /// Whole-run totals; exact regardless of the row cap. "Depth" here is
+  /// the number in system: buffered + held_back + in_flight.
+  struct Totals {
+    std::uint64_t samples = 0;
+    std::uint64_t peak_depth = 0;  ///< max depth over samples
+    std::uint64_t peak_round = 0;  ///< round of the first peak sample
+    std::uint64_t sum_depth = 0;   ///< sum of depths (mean = /samples)
+  };
+
+  explicit QueueLedger(std::size_t max_rows) : max_rows_(max_rows) {}
+
+  void sample(const Row& row);
+
+  const std::vector<Row>& rows() const { return rows_; }
+  std::uint64_t dropped_rows() const { return dropped_rows_; }
+  const Totals& totals() const { return totals_; }
+
+ private:
+  std::size_t max_rows_;
+  std::vector<Row> rows_;
+  std::uint64_t dropped_rows_ = 0;
+  Totals totals_;
+};
+
+}  // namespace radiocast::obs

@@ -1,0 +1,111 @@
+#include "stream/queue.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace radiocast::stream {
+
+const char* buffer_policy_name(BufferPolicy policy) {
+  switch (policy) {
+    case BufferPolicy::kDropNew: return "drop_new";
+    case BufferPolicy::kDropOld: return "drop_old";
+    case BufferPolicy::kBackpressure: return "backpressure";
+  }
+  return "?";
+}
+
+bool buffer_policy_from_string(const std::string& s, BufferPolicy& out) {
+  if (s == "drop_new") {
+    out = BufferPolicy::kDropNew;
+    return true;
+  }
+  if (s == "drop_old") {
+    out = BufferPolicy::kDropOld;
+    return true;
+  }
+  if (s == "backpressure") {
+    out = BufferPolicy::kBackpressure;
+    return true;
+  }
+  return false;
+}
+
+void QueueStats::merge(const QueueStats& other) {
+  offered += other.offered;
+  admitted += other.admitted;
+  dropped += other.dropped;
+  backpressured += other.backpressured;
+  peak_depth = std::max(peak_depth, other.peak_depth);
+}
+
+void SourceQueue::note_depth() {
+  stats_.peak_depth = std::max(stats_.peak_depth, depth());
+}
+
+void SourceQueue::admit(radio::Packet packet) {
+  buffer_.push_back(std::move(packet));
+  ++stats_.admitted;
+}
+
+bool SourceQueue::offer(radio::Packet packet) {
+  ++stats_.offered;
+  if (buffer_.size() < capacity_) {
+    admit(std::move(packet));
+    note_depth();
+    return true;
+  }
+  switch (policy_) {
+    case BufferPolicy::kDropNew:
+      ++stats_.dropped;
+      break;
+    case BufferPolicy::kDropOld:
+      RC_ASSERT(!buffer_.empty());
+      buffer_.erase(buffer_.begin());
+      ++stats_.dropped;
+      admit(std::move(packet));
+      break;
+    case BufferPolicy::kBackpressure:
+      holdback_.push_back(std::move(packet));
+      ++stats_.backpressured;
+      note_depth();
+      break;
+  }
+  note_depth();
+  return false;
+}
+
+std::vector<radio::Packet> SourceQueue::drain() {
+  std::vector<radio::Packet> out = std::move(buffer_);
+  buffer_.clear();
+  // Backpressured packets re-offer oldest-first into the freed buffer.
+  std::size_t moved = 0;
+  while (moved < holdback_.size() && buffer_.size() < capacity_) {
+    admit(std::move(holdback_[moved]));
+    ++moved;
+  }
+  holdback_.erase(holdback_.begin(),
+                  holdback_.begin() + static_cast<std::ptrdiff_t>(moved));
+  return out;
+}
+
+SaturationDetector::SaturationDetector(const SaturationConfig& cfg) : cfg_(cfg) {
+  RC_ASSERT(cfg_.window >= 1);
+  ring_.assign(cfg_.window + 1, 0);
+}
+
+void SaturationDetector::sample(std::uint64_t total_depth) {
+  ring_[count_ % ring_.size()] = total_depth;
+  ++count_;
+  if (saturated_ || count_ <= cfg_.window) return;
+  // The slot count_ % size now holds the sample from `window` steps ago.
+  const std::uint64_t oldest = ring_[count_ % ring_.size()];
+  if (total_depth >= oldest + cfg_.min_growth) {
+    saturated_ = true;
+    onset_ = count_ - 1;
+  }
+}
+
+}  // namespace radiocast::stream

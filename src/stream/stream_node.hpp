@@ -1,0 +1,61 @@
+// DynamicBroadcastNode with a bounded, policy-governed source buffer.
+//
+// The closed dynamic mode injects straight into an unbounded pending list;
+// the open system routes every arrival through a SourceQueue instead, and
+// reports first-hold events round-exactly so the driver can compute exact
+// per-packet delivery latencies (the closed harness polls every 64 rounds).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dynamic.hpp"
+#include "stream/queue.hpp"
+
+namespace radiocast::stream {
+
+class StreamNode final : public core::DynamicBroadcastNode {
+ public:
+  StreamNode(const core::DynamicConfig& cfg, radio::NodeId self, Rng rng,
+             std::uint32_t buffer_capacity, BufferPolicy policy)
+      : core::DynamicBroadcastNode(cfg, self, rng),
+        queue_(buffer_capacity, policy) {}
+
+  /// Application-side arrival: the packet goes through the bounded buffer,
+  /// NOT directly into the pipeline. Returns true if buffered immediately.
+  bool offer(radio::Packet packet) { return queue_.offer(std::move(packet)); }
+
+  /// Packet ids first held by this node since the previous call, in
+  /// hold order. The driver drains this every round.
+  std::vector<radio::PacketId> drain_newly_held() {
+    std::vector<radio::PacketId> out = std::move(newly_held_);
+    newly_held_.clear();
+    return out;
+  }
+
+  const SourceQueue& queue() const { return queue_; }
+
+ protected:
+  /// Epoch re-entry pulls from the bounded buffer (which refills from any
+  /// backpressure holdback) instead of the base class's unbounded list.
+  std::vector<radio::Packet> take_epoch_packets() override {
+    std::vector<radio::Packet> out = queue_.drain();
+    for (const radio::Packet& p : out) deliver_own(p);
+    return out;
+  }
+
+  void on_packet_delivered(const radio::Packet& packet) override {
+    newly_held_.push_back(packet.id);
+  }
+
+ private:
+  // Admitted packets count as held by their source the moment they enter
+  // the pipeline (mirrors inject()'s deliver-on-injection in the closed
+  // mode; a buffered-then-dropped packet is never "held").
+  void deliver_own(const radio::Packet& p) { deliver(p); }
+
+  SourceQueue queue_;
+  std::vector<radio::PacketId> newly_held_;
+};
+
+}  // namespace radiocast::stream

@@ -1,0 +1,177 @@
+// SourceQueue policy semantics and SaturationDetector behavior on
+// synthetic depth traces.
+#include "stream/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "radio/message.hpp"
+
+namespace radiocast::stream {
+namespace {
+
+radio::Packet pkt(std::uint32_t seq) {
+  radio::Packet p;
+  p.id = radio::make_packet_id(0, seq);
+  return p;
+}
+
+std::vector<std::uint32_t> seqs(const std::vector<radio::Packet>& packets) {
+  std::vector<std::uint32_t> out;
+  for (const radio::Packet& p : packets)
+    out.push_back(static_cast<std::uint32_t>(p.id & 0xffffffffu));
+  return out;
+}
+
+TEST(SourceQueue, AdmitsUpToCapacity) {
+  SourceQueue q(3, BufferPolicy::kDropNew);
+  EXPECT_TRUE(q.offer(pkt(0)));
+  EXPECT_TRUE(q.offer(pkt(1)));
+  EXPECT_TRUE(q.offer(pkt(2)));
+  EXPECT_EQ(q.buffered(), 3u);
+  EXPECT_EQ(q.stats().offered, 3u);
+  EXPECT_EQ(q.stats().admitted, 3u);
+  EXPECT_EQ(q.stats().dropped, 0u);
+}
+
+TEST(SourceQueue, DropNewRejectsArrivalWhenFull) {
+  SourceQueue q(2, BufferPolicy::kDropNew);
+  q.offer(pkt(0));
+  q.offer(pkt(1));
+  EXPECT_FALSE(q.offer(pkt(2)));
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(seqs(q.drain()), (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(SourceQueue, DropOldEvictsOldestAndKeepsArrival) {
+  SourceQueue q(2, BufferPolicy::kDropOld);
+  q.offer(pkt(0));
+  q.offer(pkt(1));
+  EXPECT_FALSE(q.offer(pkt(2)));  // evicts 0, admits 2
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(q.stats().admitted, 3u);
+  EXPECT_EQ(seqs(q.drain()), (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(SourceQueue, BackpressureParksOverflowAndRefillsOldestFirst) {
+  SourceQueue q(2, BufferPolicy::kBackpressure);
+  for (std::uint32_t i = 0; i < 5; ++i) q.offer(pkt(i));
+  EXPECT_EQ(q.buffered(), 2u);
+  EXPECT_EQ(q.held_back(), 3u);
+  EXPECT_EQ(q.depth(), 5u);
+  EXPECT_EQ(q.stats().dropped, 0u);
+  EXPECT_EQ(q.stats().backpressured, 3u);
+  // First drain hands over the buffer and pulls the two oldest parked
+  // packets forward; nothing is ever lost.
+  EXPECT_EQ(seqs(q.drain()), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(q.buffered(), 2u);
+  EXPECT_EQ(q.held_back(), 1u);
+  EXPECT_EQ(seqs(q.drain()), (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(seqs(q.drain()), (std::vector<std::uint32_t>{4}));
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_EQ(q.stats().admitted, 5u);
+}
+
+TEST(SourceQueue, PeakDepthCountsHoldback) {
+  SourceQueue q(1, BufferPolicy::kBackpressure);
+  for (std::uint32_t i = 0; i < 4; ++i) q.offer(pkt(i));
+  EXPECT_EQ(q.stats().peak_depth, 4u);
+  q.drain();
+  EXPECT_EQ(q.stats().peak_depth, 4u);  // peak is sticky
+}
+
+TEST(SourceQueue, DrainOnEmptyIsEmpty) {
+  SourceQueue q(4, BufferPolicy::kDropNew);
+  EXPECT_TRUE(q.drain().empty());
+}
+
+TEST(QueueStats, MergeSumsCountersAndMaxesPeak) {
+  QueueStats a;
+  a.offered = 10;
+  a.admitted = 8;
+  a.dropped = 2;
+  a.peak_depth = 5;
+  QueueStats b;
+  b.offered = 3;
+  b.admitted = 3;
+  b.backpressured = 1;
+  b.peak_depth = 9;
+  a.merge(b);
+  EXPECT_EQ(a.offered, 13u);
+  EXPECT_EQ(a.admitted, 11u);
+  EXPECT_EQ(a.dropped, 2u);
+  EXPECT_EQ(a.backpressured, 1u);
+  EXPECT_EQ(a.peak_depth, 9u);
+}
+
+TEST(SourceQueue, PolicyNamesRoundTrip) {
+  for (BufferPolicy p : {BufferPolicy::kDropNew, BufferPolicy::kDropOld,
+                         BufferPolicy::kBackpressure}) {
+    BufferPolicy parsed{};
+    ASSERT_TRUE(buffer_policy_from_string(buffer_policy_name(p), parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  BufferPolicy unused{};
+  EXPECT_FALSE(buffer_policy_from_string("droptail", unused));
+}
+
+SaturationConfig sat_cfg(std::uint32_t window, std::uint64_t min_growth) {
+  SaturationConfig cfg;
+  cfg.window = window;
+  cfg.min_growth = min_growth;
+  return cfg;
+}
+
+TEST(SaturationDetector, GrowingTraceLatchesAtFirstFullWindow) {
+  SaturationDetector d(sat_cfg(3, 4));
+  // Depth grows by 2 per sample: the first window-apart comparison is
+  // sample 3 vs sample 0 (growth 6 >= 4).
+  for (std::uint64_t depth : {0, 2, 4, 6}) d.sample(depth);
+  EXPECT_TRUE(d.saturated());
+  EXPECT_EQ(d.onset_sample(), 3u);
+}
+
+TEST(SaturationDetector, FlatTraceNeverLatches) {
+  SaturationDetector d(sat_cfg(3, 1));
+  for (int i = 0; i < 40; ++i) d.sample(17);
+  EXPECT_FALSE(d.saturated());
+}
+
+TEST(SaturationDetector, OscillationBelowThresholdNeverLatches) {
+  SaturationDetector d(sat_cfg(4, 10));
+  // A stable working level that wobbles +-4 around 20.
+  const std::uint64_t trace[] = {20, 24, 16, 22, 18, 24, 16, 20, 24, 18};
+  for (std::uint64_t depth : trace) d.sample(depth);
+  EXPECT_FALSE(d.saturated());
+}
+
+TEST(SaturationDetector, SlowGrowthBelowMinGrowthIgnored) {
+  SaturationDetector d(sat_cfg(4, 8));
+  // +1 per sample: window growth is 4 < 8 forever.
+  for (std::uint64_t i = 0; i < 30; ++i) d.sample(i);
+  EXPECT_FALSE(d.saturated());
+}
+
+TEST(SaturationDetector, LatchIsSticky) {
+  SaturationDetector d(sat_cfg(2, 2));
+  for (std::uint64_t depth : {0, 5, 10}) d.sample(depth);
+  ASSERT_TRUE(d.saturated());
+  const std::uint64_t onset = d.onset_sample();
+  for (int i = 0; i < 10; ++i) d.sample(0);  // backlog drains afterwards
+  EXPECT_TRUE(d.saturated());
+  EXPECT_EQ(d.onset_sample(), onset);
+}
+
+TEST(SaturationDetector, NeedsFullWindowBeforeJudging) {
+  SaturationDetector d(sat_cfg(5, 1));
+  for (std::uint64_t depth : {0, 100, 200, 300, 400}) d.sample(depth);
+  // Only 5 samples so far; the first comparison needs window+1 = 6.
+  EXPECT_FALSE(d.saturated());
+  d.sample(500);
+  EXPECT_TRUE(d.saturated());
+  EXPECT_EQ(d.onset_sample(), 5u);
+}
+
+}  // namespace
+}  // namespace radiocast::stream
